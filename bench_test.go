@@ -1,0 +1,438 @@
+// Benchmarks reproducing every figure of the paper's evaluation (Figs
+// 13-22) as testing.B targets, plus the ablations called out in DESIGN.md.
+// Each figure benchmark has one sub-benchmark per x-axis value; per-query
+// page accesses are attached as custom metrics (data-pages/op,
+// obst-pages/op) alongside the standard ns/op. The cmd/obsbench tool runs
+// the same sweeps in workload form and prints the full tables.
+//
+// Benchmarks use a reduced |O| so `go test -bench=.` finishes in minutes;
+// the harness preserves the paper's obstacle density and absolute query
+// ranges, so per-query behaviour is scale-invariant (see internal/expt).
+package obstacles_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/visgraph"
+)
+
+const benchObstacles = 4000
+
+var benchLabs = map[int]*expt.Lab{}
+
+func benchLab(b *testing.B, obstacles int) *expt.Lab {
+	b.Helper()
+	if lab, ok := benchLabs[obstacles]; ok {
+		return lab
+	}
+	cfg := expt.DefaultConfig()
+	cfg.ObstacleCount = obstacles
+	cfg.Workload = 50
+	lab, err := expt.NewLab(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLabs[obstacles] = lab
+	return lab
+}
+
+func entitySet(b *testing.B, lab *expt.Lab, card int) *core.PointSet {
+	b.Helper()
+	P, err := lab.EntitySet(card)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return P
+}
+
+// runQueries executes fn once per iteration, cycling through the workload,
+// and reports per-op page-access metrics for the involved trees.
+func runQueries(b *testing.B, lab *expt.Lab, sets []*core.PointSet, fn func(q geom.Point) error) {
+	b.Helper()
+	queries := lab.Queries()
+	obstPF := lab.Engine().Obstacles().Tree().PageFile()
+	obstBase := obstPF.Stats().PhysicalReads
+	var dataBase uint64
+	for _, s := range sets {
+		dataBase += s.Tree().PageFile().Stats().PhysicalReads
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var dataNow uint64
+	for _, s := range sets {
+		dataNow += s.Tree().PageFile().Stats().PhysicalReads
+	}
+	b.ReportMetric(float64(dataNow-dataBase)/float64(b.N), "data-pages/op")
+	b.ReportMetric(float64(obstPF.Stats().PhysicalReads-obstBase)/float64(b.N), "obst-pages/op")
+}
+
+// BenchmarkFig13ORCardinality reproduces Fig 13: obstacle range queries at
+// e=0.1% across entity/obstacle cardinality ratios.
+func BenchmarkFig13ORCardinality(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	radius := lab.ERadius(expt.ORFixedE)
+	for _, ratio := range expt.RatioGrid {
+		b.Run(fmt.Sprintf("ratio=%g", ratio), func(b *testing.B) {
+			P := entitySet(b, lab, int(ratio*benchObstacles))
+			runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+				_, _, err := lab.Engine().Range(P, q, radius)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig14ORRange reproduces Fig 14: obstacle range queries at
+// |P|=|O| across query ranges e.
+func BenchmarkFig14ORRange(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	P := entitySet(b, lab, benchObstacles)
+	for _, pct := range expt.ORRangeGrid {
+		b.Run(fmt.Sprintf("e=%g%%", pct), func(b *testing.B) {
+			radius := lab.ERadius(pct)
+			runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+				_, _, err := lab.Engine().Range(P, q, radius)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig15ORFalseHits reproduces Fig 15: the false-hit behaviour of
+// OR, reported as falsehits/op and results/op metrics (a: vs cardinality
+// ratio at e=0.1%; b: vs e at |P|=|O|).
+func BenchmarkFig15ORFalseHits(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	run := func(b *testing.B, P *core.PointSet, radius float64) {
+		var fh, res int
+		runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+			_, st, err := lab.Engine().Range(P, q, radius)
+			fh += st.FalseHits
+			res += st.Results
+			return err
+		})
+		b.ReportMetric(float64(fh)/float64(b.N), "falsehits/op")
+		b.ReportMetric(float64(res)/float64(b.N), "results/op")
+	}
+	for _, ratio := range expt.RatioGrid {
+		b.Run(fmt.Sprintf("a/ratio=%g", ratio), func(b *testing.B) {
+			run(b, entitySet(b, lab, int(ratio*benchObstacles)), lab.ERadius(expt.ORFixedE))
+		})
+	}
+	for _, pct := range expt.ORRangeGrid {
+		b.Run(fmt.Sprintf("b/e=%g%%", pct), func(b *testing.B) {
+			run(b, entitySet(b, lab, benchObstacles), lab.ERadius(pct))
+		})
+	}
+}
+
+// BenchmarkFig16ONNCardinality reproduces Fig 16: k=16 obstructed NN
+// queries across cardinality ratios.
+func BenchmarkFig16ONNCardinality(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	for _, ratio := range expt.RatioGrid {
+		b.Run(fmt.Sprintf("ratio=%g", ratio), func(b *testing.B) {
+			P := entitySet(b, lab, int(ratio*benchObstacles))
+			runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+				_, _, err := lab.Engine().NearestNeighbors(P, q, expt.ONNFixedK)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig17ONNK reproduces Fig 17: obstructed NN queries at |P|=|O|
+// across k.
+func BenchmarkFig17ONNK(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	P := entitySet(b, lab, benchObstacles)
+	for _, k := range expt.KGrid {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+				_, _, err := lab.Engine().NearestNeighbors(P, q, k)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig18ONNFalseHits reproduces Fig 18: ONN false hits (Euclidean
+// kNNs not among the obstructed kNNs), as falsehits/op (a: vs ratio at
+// k=16; b: vs k at |P|=|O|).
+func BenchmarkFig18ONNFalseHits(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	run := func(b *testing.B, P *core.PointSet, k int) {
+		var fh int
+		runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+			_, st, err := lab.Engine().NearestNeighbors(P, q, k)
+			fh += st.FalseHits
+			return err
+		})
+		b.ReportMetric(float64(fh)/float64(b.N), "falsehits/op")
+		b.ReportMetric(float64(fh)/float64(b.N)/float64(k), "fh-ratio")
+	}
+	for _, ratio := range expt.RatioGrid {
+		b.Run(fmt.Sprintf("a/ratio=%g", ratio), func(b *testing.B) {
+			run(b, entitySet(b, lab, int(ratio*benchObstacles)), expt.ONNFixedK)
+		})
+	}
+	for _, k := range expt.KGrid {
+		b.Run(fmt.Sprintf("b/k=%d", k), func(b *testing.B) {
+			run(b, entitySet(b, lab, benchObstacles), k)
+		})
+	}
+}
+
+// runJoinOp executes one whole join/closest-pair operation per iteration.
+func runJoinOp(b *testing.B, lab *expt.Lab, sets []*core.PointSet, fn func() error) {
+	b.Helper()
+	obstPF := lab.Engine().Obstacles().Tree().PageFile()
+	obstBase := obstPF.Stats().PhysicalReads
+	var dataBase uint64
+	for _, s := range sets {
+		dataBase += s.Tree().PageFile().Stats().PhysicalReads
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var dataNow uint64
+	for _, s := range sets {
+		dataNow += s.Tree().PageFile().Stats().PhysicalReads
+	}
+	b.ReportMetric(float64(dataNow-dataBase)/float64(b.N), "data-pages/op")
+	b.ReportMetric(float64(obstPF.Stats().PhysicalReads-obstBase)/float64(b.N), "obst-pages/op")
+}
+
+// BenchmarkFig19ODJCardinality reproduces Fig 19: e-distance joins at
+// e=0.01%, |T|=0.1|O|, across |S|/|O|.
+func BenchmarkFig19ODJCardinality(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	dist := lab.ERadius(expt.ODJFixedE)
+	T := entitySet(b, lab, int(expt.JoinTFrac*benchObstacles))
+	for _, ratio := range expt.JoinRatioGrid {
+		b.Run(fmt.Sprintf("Sratio=%g", ratio), func(b *testing.B) {
+			S := entitySet(b, lab, int(ratio*benchObstacles))
+			runJoinOp(b, lab, []*core.PointSet{S, T}, func() error {
+				_, _, err := lab.Engine().DistanceJoin(S, T, dist)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig20ODJRange reproduces Fig 20: e-distance joins at
+// |S|=|T|=0.1|O| across e.
+func BenchmarkFig20ODJRange(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	card := int(expt.JoinSTFrac * benchObstacles)
+	S := entitySet(b, lab, card)
+	T := entitySet(b, lab, card+1)
+	for _, pct := range expt.JoinRangeGrid {
+		b.Run(fmt.Sprintf("e=%g%%", pct), func(b *testing.B) {
+			dist := lab.ERadius(pct)
+			runJoinOp(b, lab, []*core.PointSet{S, T}, func() error {
+				_, _, err := lab.Engine().DistanceJoin(S, T, dist)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig21OCPCardinality reproduces Fig 21: k=16 closest pairs at
+// |T|=0.1|O| across |S|/|O|.
+func BenchmarkFig21OCPCardinality(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	T := entitySet(b, lab, int(expt.JoinTFrac*benchObstacles))
+	for _, ratio := range expt.JoinRatioGrid {
+		b.Run(fmt.Sprintf("Sratio=%g", ratio), func(b *testing.B) {
+			S := entitySet(b, lab, int(ratio*benchObstacles))
+			runJoinOp(b, lab, []*core.PointSet{S, T}, func() error {
+				_, _, err := lab.Engine().ClosestPairs(S, T, expt.OCPFixedK)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkFig22OCPK reproduces Fig 22: closest pairs at |S|=|T|=0.1|O|
+// across k.
+func BenchmarkFig22OCPK(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	card := int(expt.JoinSTFrac * benchObstacles)
+	S := entitySet(b, lab, card)
+	T := entitySet(b, lab, card+1)
+	for _, k := range expt.KGrid {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			k := k
+			runJoinOp(b, lab, []*core.PointSet{S, T}, func() error {
+				_, _, err := lab.Engine().ClosestPairs(S, T, k)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkAblationSweepVsNaive compares the [SS84] rotational plane sweep
+// against the naive all-obstacles visibility construction on local graphs
+// of growing size (DESIGN.md ablation #1).
+func BenchmarkAblationSweepVsNaive(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	for _, pct := range []float64{0.25, 0.5, 1} {
+		radius := lab.ERadius(pct)
+		q := lab.Queries()[0]
+		var obs []visgraph.Obstacle
+		ob := lab.Engine().Obstacles()
+		err := ob.Tree().SearchCircle(q, radius, func(it rtree.Item) bool {
+			obs = append(obs, visgraph.Obstacle{ID: it.Data, Poly: ob.Polygon(it.Data)})
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sweep := range []bool{true, false} {
+			name := fmt.Sprintf("e=%g%%/obstacles=%d/sweep=%v", pct, len(obs), sweep)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := visgraph.Build(visgraph.Options{UseSweep: sweep}, obs)
+					if g.NumNodes() == 0 && len(obs) > 0 {
+						b.Fatal("empty graph")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHilbertSeeds compares ODJ with and without the Hilbert
+// ordering of join seeds (the locality optimization of Fig 10).
+func BenchmarkAblationHilbertSeeds(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	card := int(expt.JoinSTFrac * benchObstacles)
+	S := entitySet(b, lab, card)
+	T := entitySet(b, lab, card+1)
+	dist := lab.ERadius(0.05)
+	for _, hilbert := range []bool{true, false} {
+		b.Run(fmt.Sprintf("hilbert=%v", hilbert), func(b *testing.B) {
+			eng := core.NewEngine(lab.Engine().Obstacles(), core.EngineOptions{
+				UseSweep:       true,
+				NoHilbertSeeds: !hilbert,
+			})
+			runJoinOp(b, lab, []*core.PointSet{S, T}, func() error {
+				_, _, err := eng.DistanceJoin(S, T, dist)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkAblationBulkVsInsert compares STR bulk loading against repeated
+// R* insertion: build cost, and NN query I/O on the resulting trees.
+func BenchmarkAblationBulkVsInsert(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	pts := make([]geom.Point, 0, 5000)
+	P := entitySet(b, lab, 5000)
+	for i := 0; i < P.Len(); i++ {
+		pts = append(pts, P.Point(int64(i)))
+	}
+	for _, bulk := range []bool{true, false} {
+		b.Run(fmt.Sprintf("build/bulk=%v", bulk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPointSet(rtree.Options{PageSize: 4096}, pts, bulk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, bulk := range []bool{true, false} {
+		set, err := core.NewPointSet(rtree.Options{PageSize: 4096}, pts, bulk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = set.Tree().PageFile().SetBufferPages(1) // cold-ish buffer isolates structure quality
+		b.Run(fmt.Sprintf("query/bulk=%v", bulk), func(b *testing.B) {
+			base := set.Tree().PageFile().Stats().PhysicalReads
+			queries := lab.Queries()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := set.Tree().NearestK(queries[i%len(queries)], 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(set.Tree().PageFile().Stats().PhysicalReads-base)/float64(b.N), "pages/op")
+		})
+	}
+}
+
+// BenchmarkAblationBufferFraction sweeps the LRU buffer size on the
+// obstacle tree (the paper fixes it at 10% of each tree).
+func BenchmarkAblationBufferFraction(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	P := entitySet(b, lab, benchObstacles)
+	radius := lab.ERadius(0.5)
+	obstPF := lab.Engine().Obstacles().Tree().PageFile()
+	total := obstPF.NumPages()
+	for _, frac := range []float64{0.01, 0.05, 0.1, 0.25, 0.5} {
+		b.Run(fmt.Sprintf("buffer=%g%%", frac*100), func(b *testing.B) {
+			pages := int(frac * float64(total))
+			if pages < 1 {
+				pages = 1
+			}
+			if err := obstPF.SetBufferPages(pages); err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, lab, []*core.PointSet{P}, func(q geom.Point) error {
+				_, _, err := lab.Engine().Range(P, q, radius)
+				return err
+			})
+		})
+	}
+	// Restore the paper's setting for any benchmark that runs after.
+	if err := obstPF.SetBufferPages(int(0.1 * float64(total))); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationIncrementalCP compares batch OCP(k) against consuming k
+// pairs from the incremental iOCP iterator.
+func BenchmarkAblationIncrementalCP(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	card := int(expt.JoinSTFrac * benchObstacles)
+	S := entitySet(b, lab, card)
+	T := entitySet(b, lab, card+1)
+	const k = 16
+	b.Run("batch-OCP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lab.Engine().ClosestPairs(S, T, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-iOCP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it, err := lab.Engine().ClosestPairIterator(S, T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for n := 0; n < k; n++ {
+				if _, ok := it.Next(); !ok {
+					b.Fatal(it.Err())
+				}
+			}
+		}
+	})
+}

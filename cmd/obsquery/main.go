@@ -1,0 +1,157 @@
+// Command obsquery runs ad-hoc obstructed spatial queries over CSV datasets
+// produced by obsgen (or any files in the same format).
+//
+// Examples:
+//
+//	obsquery -data dir -query range -x 5000 -y 5000 -radius 100
+//	obsquery -data dir -query nn -x 5000 -y 5000 -k 5
+//	obsquery -data dir -query dist -x 10 -y 10 -x2 500 -y2 600
+//	obsquery -data dir -query cp -entities2 other.csv -k 4
+//	obsquery -data dir -query join -entities2 other.csv -radius 50
+//
+// -data names a directory with obstacles.csv and entities.csv; join and cp
+// additionally need a second point file via -entities2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	obstacles "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", ".", "directory with obstacles.csv and entities.csv")
+		second  = flag.String("entities2", "", "second point dataset (join/cp queries)")
+		query   = flag.String("query", "nn", "query type: range | nn | join | cp | dist")
+		x       = flag.Float64("x", 0, "query point x")
+		y       = flag.Float64("y", 0, "query point y")
+		x2      = flag.Float64("x2", 0, "second point x (dist query)")
+		y2      = flag.Float64("y2", 0, "second point y (dist query)")
+		radius  = flag.Float64("radius", 100, "range / join distance")
+		k       = flag.Int("k", 4, "result count for nn / cp")
+		naive   = flag.Bool("naive", false, "naive visibility (for overlapping obstacle data)")
+	)
+	flag.Parse()
+
+	rects, err := readRects(filepath.Join(*dataDir, "obstacles.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	opts := obstacles.DefaultOptions()
+	opts.NaiveVisibility = *naive
+	db, err := obstacles.NewDatabaseFromRects(rects, opts)
+	if err != nil {
+		fatal(err)
+	}
+	pts, err := readPoints(filepath.Join(*dataDir, "entities.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		fatal(err)
+	}
+	if *second != "" {
+		pts2, err := readPoints(*second)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.AddDataset("T", pts2); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d obstacles, %d entities\n", db.NumObstacles(), db.DatasetLen("P"))
+
+	q := obstacles.Pt(*x, *y)
+	if inside, err := db.InsideObstacle(q); err != nil {
+		fatal(err)
+	} else if inside {
+		fmt.Printf("note: %v lies inside an obstacle; nothing is reachable from it\n", q)
+	}
+	switch *query {
+	case "dist":
+		d, err := db.ObstructedDistance(q, obstacles.Pt(*x2, *y2))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dO(%v, %v) = %g (dE = %g)\n", q, obstacles.Pt(*x2, *y2), d, q.Dist(obstacles.Pt(*x2, *y2)))
+	case "range":
+		res, err := db.Range("P", q, *radius)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d entities within obstructed distance %g of %v:\n", len(res), *radius, q)
+		for _, nb := range res {
+			fmt.Printf("  #%d %v  dO=%.2f\n", nb.ID, nb.Point, nb.Distance)
+		}
+	case "nn":
+		res, err := db.NearestNeighbors("P", q, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d obstructed nearest neighbors of %v:\n", len(res), q)
+		for i, nb := range res {
+			fmt.Printf("  %d. #%d %v  dO=%.2f (dE=%.2f)\n", i+1, nb.ID, nb.Point, nb.Distance, q.Dist(nb.Point))
+		}
+	case "join":
+		requireSecond(*second)
+		res, err := db.DistanceJoin("P", "T", *radius)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d pairs within obstructed distance %g:\n", len(res), *radius)
+		for _, p := range res {
+			fmt.Printf("  P#%d - T#%d  dO=%.2f\n", p.ID1, p.ID2, p.Distance)
+		}
+	case "cp":
+		requireSecond(*second)
+		res, err := db.ClosestPairs("P", "T", *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d closest pairs:\n", len(res))
+		for i, p := range res {
+			fmt.Printf("  %d. P#%d - T#%d  dO=%.2f\n", i+1, p.ID1, p.ID2, p.Distance)
+		}
+	default:
+		fatal(fmt.Errorf("unknown query %q", *query))
+	}
+
+	os_ := db.ObstacleTreeStats()
+	ds, _ := db.DatasetTreeStats("P")
+	fmt.Printf("\nI/O: obstacle tree %d page accesses, entity tree %d page accesses\n",
+		os_.PageAccesses, ds.PageAccesses)
+}
+
+func requireSecond(second string) {
+	if second == "" {
+		fatal(fmt.Errorf("join/cp queries need -entities2"))
+	}
+}
+
+func readRects(path string) ([]obstacles.Rect, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadRects(f)
+}
+
+func readPoints(path string) ([]obstacles.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadPoints(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Logistics: e-distance join between depots and stores under the obstructed
+// metric. A courier company only serves a store from a depot when the
+// driving-free walking route (around a fenced rail yard and warehouses)
+// stays below a service radius; the Euclidean join overestimates coverage.
+// Run with:
+//
+//	go run ./examples/logistics
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	obstacles "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(23))
+
+	// An industrial district: a long fenced rail yard cutting the map, plus
+	// scattered warehouse blocks.
+	rects := []obstacles.Rect{
+		obstacles.R(100, 480, 900, 520), // the rail yard: a 800-long barrier
+	}
+	for i := 0; i < 25; i++ {
+		x := rng.Float64() * 900
+		y := rng.Float64() * 900
+		w := 30 + rng.Float64()*50
+		h := 30 + rng.Float64()*50
+		r := obstacles.R(x, y, x+w, y+h)
+		// Keep the scene simple: skip blocks overlapping the rail yard or
+		// each other.
+		ok := true
+		for _, o := range rects {
+			if o.Intersects(r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rects = append(rects, r)
+		}
+	}
+	db, err := obstacles.NewDatabaseFromRects(rects, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Depots south of the rail yard, stores on both sides.
+	depots := []obstacles.Point{
+		obstacles.Pt(150, 300), obstacles.Pt(500, 200), obstacles.Pt(850, 350),
+	}
+	stores := make([]obstacles.Point, 40)
+	for i := range stores {
+		stores[i] = obstacles.Pt(50+rng.Float64()*900, 50+rng.Float64()*900)
+	}
+	if err := db.AddDataset("depots", depots); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddDataset("stores", stores); err != nil {
+		log.Fatal(err)
+	}
+
+	const serviceRadius = 350.0
+
+	// Which (depot, store) pairs are genuinely serviceable?
+	pairs, err := db.DistanceJoin("depots", "stores", serviceRadius)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served := map[int64]bool{}
+	perDepot := map[int64]int{}
+	for _, p := range pairs {
+		served[p.ID2] = true
+		perDepot[p.ID1]++
+	}
+	fmt.Printf("service radius %.0f: %d serviceable depot-store pairs, %d/%d stores covered\n",
+		serviceRadius, len(pairs), len(served), len(stores))
+	for d := range depots {
+		fmt.Printf("  depot %d serves %d stores\n", d, perDepot[int64(d)])
+	}
+
+	// Compare with the straight-line estimate: stores across the rail yard
+	// look close but require a long detour around its ends.
+	optimistic := 0
+	for di, d := range depots {
+		for si, s := range stores {
+			if d.Dist(s) <= serviceRadius {
+				optimistic++
+				_ = di
+				_ = si
+			}
+		}
+	}
+	fmt.Printf("\nstraight-line estimate: %d pairs (%d phantom pairs eliminated by the obstructed metric)\n",
+		optimistic, optimistic-len(pairs))
+
+	// The worst detour among serviceable pairs.
+	worst, factor := obstacles.Pair{}, 1.0
+	for _, p := range pairs {
+		f := p.Distance / depots[p.ID1].Dist(stores[p.ID2])
+		if f > factor {
+			worst, factor = p, f
+		}
+	}
+	if factor > 1 {
+		fmt.Printf("worst detour: depot %d -> store %d, x%.2f the straight line\n",
+			worst.ID1, worst.ID2, factor)
+	}
+}

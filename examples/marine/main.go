@@ -1,0 +1,116 @@
+// Marine navigation: vessels sail freely except around islands — the
+// paper's "movement allowed in the whole space except the stored obstacles"
+// scenario, with non-rectangular polygon obstacles. The example finds the
+// harbors reachable within a fuel range (obstructed range query) and the
+// closest vessel/harbor pairs for a rescue dispatcher (closest-pair query).
+// Run with:
+//
+//	go run ./examples/marine
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	obstacles "repro"
+)
+
+// island builds an irregular convex-ish polygon around a center.
+func island(rng *rand.Rand, cx, cy, r float64) obstacles.Polygon {
+	n := 5 + rng.Intn(4)
+	pts := make([]obstacles.Point, n)
+	for i := range pts {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		rad := r * (0.7 + 0.3*rng.Float64())
+		pts[i] = obstacles.Pt(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang))
+	}
+	pg, err := obstacles.NewPolygon(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pg
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// An archipelago: a dozen islands in a 1000x1000 sea.
+	centers := [][3]float64{
+		{200, 250, 70}, {420, 180, 60}, {650, 300, 90}, {820, 150, 50},
+		{150, 550, 80}, {400, 480, 55}, {600, 600, 75}, {850, 520, 65},
+		{250, 800, 60}, {500, 780, 85}, {750, 850, 55}, {380, 650, 40},
+	}
+	polys := make([]obstacles.Polygon, len(centers))
+	for i, c := range centers {
+		polys[i] = island(rng, c[0], c[1], c[2])
+	}
+	db, err := obstacles.NewDatabase(polys, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	harbors := []obstacles.Point{
+		obstacles.Pt(50, 50), obstacles.Pt(950, 80), obstacles.Pt(60, 950),
+		obstacles.Pt(920, 900), obstacles.Pt(500, 380), obstacles.Pt(320, 940),
+	}
+	vessels := []obstacles.Point{
+		obstacles.Pt(300, 350), obstacles.Pt(700, 450), obstacles.Pt(550, 900),
+		obstacles.Pt(100, 400),
+	}
+	if err := db.AddDataset("harbors", harbors); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddDataset("vessels", vessels); err != nil {
+		log.Fatal(err)
+	}
+
+	// Vessel 0 has fuel for 600 units of sailing: which harbors can it
+	// reach? Sailing distance must round the islands, so straight-line
+	// reachability overestimates.
+	v := vessels[0]
+	const fuel = 600
+	reachable, err := db.Range("harbors", v, fuel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vessel at %v, fuel %d:\n", v, fuel)
+	for _, h := range reachable {
+		fmt.Printf("  harbor %d at %v — sail %.0f (straight line %.0f)\n",
+			h.ID, h.Point, h.Distance, v.Dist(h.Point))
+	}
+
+	// Dispatcher: the three closest vessel/harbor assignments overall.
+	pairs, err := db.ClosestPairs("vessels", "harbors", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclosest vessel-harbor assignments:")
+	for _, p := range pairs {
+		fmt.Printf("  vessel %d -> harbor %d: sail %.0f\n", p.ID1, p.ID2, p.Distance)
+	}
+
+	// Browse pairs incrementally until we find one whose harbor is on the
+	// north shore (y > 800) — the paper's constrained-query motivation for
+	// iOCP, where k is not known in advance.
+	it, err := db.ClosestPairIterator("vessels", "harbors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		p, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("\nno northern assignment found")
+			break
+		}
+		if harbors[p.ID2].Y > 800 {
+			fmt.Printf("\nclosest northern assignment: vessel %d -> harbor %d at %.0f\n",
+				p.ID1, p.ID2, p.Distance)
+			break
+		}
+	}
+}

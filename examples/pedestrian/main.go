@@ -1,0 +1,122 @@
+// Pedestrian navigation: the paper's motivating scenario (Fig 1). A
+// pedestrian in a downtown grid looks for the closest restaurants; buildings
+// block the way, so the Euclidean ranking differs from the walking-distance
+// ranking. The example prints both rankings side by side and the detour
+// factor dO/dE of each restaurant. Run with:
+//
+//	go run ./examples/pedestrian
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	obstacles "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Downtown: a 10x10 grid of rectangular buildings with narrow streets.
+	// Block pitch 50: buildings 40x40, streets 10 wide.
+	var buildings []obstacles.Rect
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			x, y := 10+float64(i)*50, 10+float64(j)*50
+			// Carve a few plazas so the grid is not perfectly regular.
+			if (i == 4 && j == 5) || (i == 7 && j == 2) {
+				continue
+			}
+			buildings = append(buildings, obstacles.R(x, y, x+40, y+40))
+		}
+	}
+	db, err := obstacles.NewDatabaseFromRects(buildings, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Restaurants hug the building walls (ground-floor storefronts).
+	restaurants := make([]obstacles.Point, 60)
+	for i := range restaurants {
+		b := buildings[rng.Intn(len(buildings))]
+		switch rng.Intn(4) {
+		case 0:
+			restaurants[i] = obstacles.Pt(b.MinX, b.MinY+rng.Float64()*40)
+		case 1:
+			restaurants[i] = obstacles.Pt(b.MaxX, b.MinY+rng.Float64()*40)
+		case 2:
+			restaurants[i] = obstacles.Pt(b.MinX+rng.Float64()*40, b.MinY)
+		default:
+			restaurants[i] = obstacles.Pt(b.MinX+rng.Float64()*40, b.MaxY)
+		}
+	}
+	if err := db.AddDataset("restaurants", restaurants); err != nil {
+		log.Fatal(err)
+	}
+
+	// The pedestrian stands mid-street next to a building: storefronts on
+	// the far side of the adjacent blocks are close as the crow flies but
+	// far on foot.
+	q := obstacles.Pt(255, 230)
+	const k = 5
+
+	walking, err := db.NearestNeighbors("restaurants", q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Euclidean ranking for comparison (straight-line flight).
+	type euc struct {
+		id int64
+		d  float64
+	}
+	byAir := make([]euc, len(restaurants))
+	for i, r := range restaurants {
+		byAir[i] = euc{int64(i), q.Dist(r)}
+	}
+	sort.Slice(byAir, func(i, j int) bool { return byAir[i].d < byAir[j].d })
+
+	fmt.Printf("pedestrian at %v — top %d restaurants\n\n", q, k)
+	fmt.Println("rank | by walking distance        | by straight line")
+	fmt.Println("-----+----------------------------+-----------------------")
+	for i := 0; i < k; i++ {
+		w := walking[i]
+		a := byAir[i]
+		fmt.Printf("  %d  | #%-3d %6.1f (detour x%.2f) | #%-3d %6.1f\n",
+			i+1, w.ID, w.Distance, w.Distance/q.Dist(w.Point), a.id, a.d)
+	}
+
+	// How misleading is the Euclidean ranking? Count top-k disagreements —
+	// the "false hits" of Fig 18 in the paper.
+	inWalk := map[int64]bool{}
+	for _, w := range walking {
+		inWalk[w.ID] = true
+	}
+	misses := 0
+	for _, a := range byAir[:k] {
+		if !inWalk[a.id] {
+			misses++
+		}
+	}
+	fmt.Printf("\n%d of the %d Euclidean nearest are not among the true walking-distance nearest\n", misses, k)
+
+	// Turn-by-turn route to the winner: the shortest path bends only at
+	// building corners.
+	route, dist, err := db.ObstructedPath(q, walking[0].Point)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroute to restaurant #%d (%.1f on foot):\n", walking[0].ID, dist)
+	for i, wp := range route {
+		switch i {
+		case 0:
+			fmt.Printf("  start %v\n", wp)
+		case len(route) - 1:
+			fmt.Printf("  arrive %v\n", wp)
+		default:
+			fmt.Printf("  turn at %v\n", wp)
+		}
+	}
+}

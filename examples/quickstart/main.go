@@ -1,0 +1,104 @@
+// Quickstart: build a small obstructed-query database, run every query
+// type, and print the results. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	obstacles "repro"
+)
+
+func main() {
+	// A 3x3 block of square buildings, 20x20 each, with 10-unit streets.
+	var blocks []obstacles.Rect
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x, y := 10+float64(i)*30, 10+float64(j)*30
+			blocks = append(blocks, obstacles.R(x, y, x+20, y+20))
+		}
+	}
+	db, err := obstacles.NewDatabaseFromRects(blocks, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two point datasets: cafes and offices (ids are slice indexes).
+	cafes := []obstacles.Point{
+		obstacles.Pt(5, 5), obstacles.Pt(45, 5), obstacles.Pt(95, 35),
+		obstacles.Pt(5, 95), obstacles.Pt(65, 65),
+	}
+	offices := []obstacles.Point{
+		obstacles.Pt(35, 35), obstacles.Pt(95, 95), obstacles.Pt(5, 50),
+	}
+	must(db.AddDataset("cafes", cafes))
+	must(db.AddDataset("offices", offices))
+
+	q := obstacles.Pt(35, 35) // a pedestrian at a street crossing
+
+	// Obstructed distance between two points.
+	d, err := db.ObstructedDistance(q, obstacles.Pt(5, 5))
+	must(err)
+	fmt.Printf("walking distance center -> (5,5): %.1f (straight line %.1f)\n",
+		d, q.Dist(obstacles.Pt(5, 5)))
+
+	// Range query: cafes within walking distance 60.
+	within, err := db.Range("cafes", q, 60)
+	must(err)
+	fmt.Println("\ncafes within walking distance 60:")
+	for _, nb := range within {
+		fmt.Printf("  cafe %d at %v: %.1f\n", nb.ID, nb.Point, nb.Distance)
+	}
+
+	// k nearest neighbors.
+	nns, err := db.NearestNeighbors("cafes", q, 2)
+	must(err)
+	fmt.Println("\n2 nearest cafes:")
+	for _, nb := range nns {
+		fmt.Printf("  cafe %d at %v: %.1f\n", nb.ID, nb.Point, nb.Distance)
+	}
+
+	// e-distance join: office/cafe pairs within walking distance 45.
+	pairs, err := db.DistanceJoin("offices", "cafes", 45)
+	must(err)
+	fmt.Println("\noffice-cafe pairs within walking distance 45:")
+	for _, p := range pairs {
+		fmt.Printf("  office %d - cafe %d: %.1f\n", p.ID1, p.ID2, p.Distance)
+	}
+
+	// Closest pairs.
+	cps, err := db.ClosestPairs("offices", "cafes", 2)
+	must(err)
+	fmt.Println("\n2 closest office-cafe pairs:")
+	for _, p := range cps {
+		fmt.Printf("  office %d - cafe %d: %.1f\n", p.ID1, p.ID2, p.Distance)
+	}
+
+	// Incremental nearest neighbors: browse until a predicate matches.
+	it, err := db.NearestIterator("cafes", q)
+	must(err)
+	fmt.Println("\nnearest cafe west of x=40 (incremental search):")
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			must(it.Err())
+			break
+		}
+		if nb.Point.X < 40 {
+			fmt.Printf("  cafe %d at %v: %.1f\n", nb.ID, nb.Point, nb.Distance)
+			break
+		}
+	}
+
+	// The I/O the queries above cost, in buffer-missing page accesses.
+	st := db.ObstacleTreeStats()
+	fmt.Printf("\nobstacle R-tree: %d node reads, %d buffer misses\n", st.LogicalReads, st.PageAccesses)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

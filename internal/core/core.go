@@ -1,0 +1,245 @@
+// Package core implements the obstructed spatial query algorithms of the
+// paper: obstacle range search (OR, Fig 5), obstacle nearest neighbors (ONN,
+// Fig 9), obstacle e-distance join (ODJ, Fig 10), obstacle closest pairs
+// (OCP, Fig 11) and their incremental variants (iOCP, Fig 12, and the
+// incremental ONN the paper sketches).
+//
+// All algorithms share two building blocks: Euclidean candidate generation
+// on R-trees (package rtree), justified by the Euclidean lower-bound
+// property dE <= dO, and on-line local visibility graphs (package visgraph)
+// for refining candidates by their true obstructed distance.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/visgraph"
+)
+
+// PointSet is an entity dataset: points indexed by an R-tree, addressed by
+// dense int64 ids (the index into the point slice).
+type PointSet struct {
+	tree *rtree.Tree
+	pts  []geom.Point
+}
+
+// NewPointSet indexes pts with an R-tree. Bulk loading (STR) is used when
+// bulk is true; otherwise points are inserted one by one through the R*
+// insertion path.
+func NewPointSet(opts rtree.Options, pts []geom.Point, bulk bool) (*PointSet, error) {
+	cp := make([]geom.Point, len(pts))
+	copy(cp, pts)
+	if bulk {
+		items := make([]rtree.Item, len(cp))
+		for i, p := range cp {
+			items[i] = rtree.PointItem(p, int64(i))
+		}
+		t, err := rtree.BulkLoad(opts, items, rtree.STR)
+		if err != nil {
+			return nil, err
+		}
+		return &PointSet{tree: t, pts: cp}, nil
+	}
+	t, err := rtree.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range cp {
+		if err := t.InsertPoint(p, int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return &PointSet{tree: t, pts: cp}, nil
+}
+
+// Tree returns the underlying R-tree.
+func (s *PointSet) Tree() *rtree.Tree { return s.tree }
+
+// Point returns the location of the entity with the given id.
+func (s *PointSet) Point(id int64) geom.Point { return s.pts[id] }
+
+// Len returns the number of entities.
+func (s *PointSet) Len() int { return len(s.pts) }
+
+// ObstacleSet is an obstacle dataset: polygons indexed by an R-tree on their
+// MBRs, addressed by dense int64 ids.
+type ObstacleSet struct {
+	tree  *rtree.Tree
+	polys []geom.Polygon
+}
+
+// NewObstacleSet indexes polys by their MBRs.
+func NewObstacleSet(opts rtree.Options, polys []geom.Polygon, bulk bool) (*ObstacleSet, error) {
+	cp := make([]geom.Polygon, len(polys))
+	copy(cp, polys)
+	if bulk {
+		items := make([]rtree.Item, len(cp))
+		for i, pg := range cp {
+			items[i] = rtree.Item{Rect: pg.Bounds(), Data: int64(i)}
+		}
+		t, err := rtree.BulkLoad(opts, items, rtree.STR)
+		if err != nil {
+			return nil, err
+		}
+		return &ObstacleSet{tree: t, polys: cp}, nil
+	}
+	t, err := rtree.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, pg := range cp {
+		if err := t.Insert(pg.Bounds(), int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return &ObstacleSet{tree: t, polys: cp}, nil
+}
+
+// Tree returns the underlying R-tree.
+func (o *ObstacleSet) Tree() *rtree.Tree { return o.tree }
+
+// Polygon returns the obstacle with the given id.
+func (o *ObstacleSet) Polygon(id int64) geom.Polygon { return o.polys[id] }
+
+// Len returns the number of obstacles.
+func (o *ObstacleSet) Len() int { return len(o.polys) }
+
+// Result is one entity qualified by a query, with its obstructed distance.
+type Result struct {
+	ID   int64
+	Pt   geom.Point
+	Dist float64
+}
+
+// JoinPair is one pair qualified by a join or closest-pair query.
+type JoinPair struct {
+	SID, TID int64
+	Dist     float64 // obstructed distance between the pair
+}
+
+// Stats describes the work one query performed; the experiment harness
+// aggregates it across workloads.
+type Stats struct {
+	// Candidates is the number of Euclidean candidates examined.
+	Candidates int
+	// Results is the number of qualifying answers.
+	Results int
+	// FalseHits counts Euclidean candidates eliminated by the obstructed
+	// metric (for kNN: Euclidean kNNs absent from the obstructed kNN set).
+	FalseHits int
+	// GraphNodes and GraphEdges describe the (largest) local visibility
+	// graph built for the query.
+	GraphNodes, GraphEdges int
+	// DistComputations counts invocations of the obstructed distance
+	// computation (Fig 8).
+	DistComputations int
+}
+
+// Engine executes obstructed queries against one obstacle dataset. It is
+// not safe for concurrent use (the underlying page buffers are shared).
+type Engine struct {
+	obstacles *ObstacleSet
+	opts      EngineOptions
+}
+
+// EngineOptions tunes query execution.
+type EngineOptions struct {
+	// UseSweep selects the rotational plane-sweep visibility construction
+	// [SS84] (default true); the naive construction is a fallback for
+	// datasets with overlapping obstacles.
+	UseSweep bool
+	// NoHilbertSeeds disables the Hilbert ordering of join seeds in
+	// DistanceJoin (used by the seed-ordering ablation).
+	NoHilbertSeeds bool
+}
+
+// DefaultEngineOptions returns the configuration used in the experiments.
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{UseSweep: true}
+}
+
+// NewEngine returns an Engine over the given obstacles.
+func NewEngine(o *ObstacleSet, opts EngineOptions) *Engine {
+	return &Engine{obstacles: o, opts: opts}
+}
+
+// Obstacles returns the engine's obstacle set.
+func (e *Engine) Obstacles() *ObstacleSet { return e.obstacles }
+
+func (e *Engine) graphOptions() visgraph.Options {
+	return visgraph.Options{UseSweep: e.opts.UseSweep}
+}
+
+// relevantObstacles returns the obstacles whose polygons intersect the disk
+// (center, radius) — the filter (R-tree circle range on MBRs) plus
+// refinement (exact polygon test) steps.
+func (e *Engine) relevantObstacles(center geom.Point, radius float64) ([]visgraph.Obstacle, error) {
+	var out []visgraph.Obstacle
+	err := e.obstacles.tree.SearchCircle(center, radius, func(it rtree.Item) bool {
+		pg := e.obstacles.polys[it.Data]
+		if pg.IntersectsCircle(center, radius) {
+			out = append(out, visgraph.Obstacle{ID: it.Data, Poly: pg})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: obstacle range: %w", err)
+	}
+	return out, nil
+}
+
+// addObstaclesWithin incorporates into g every obstacle intersecting the
+// disk (center, radius) that is not present yet, reporting whether any was
+// added.
+func (e *Engine) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radius float64) (bool, error) {
+	var batch []visgraph.Obstacle
+	err := e.obstacles.tree.SearchCircle(center, radius, func(it rtree.Item) bool {
+		if g.HasObstacle(it.Data) {
+			return true
+		}
+		pg := e.obstacles.polys[it.Data]
+		if pg.IntersectsCircle(center, radius) {
+			batch = append(batch, visgraph.Obstacle{ID: it.Data, Poly: pg})
+		}
+		return true
+	})
+	if err != nil {
+		return false, fmt.Errorf("core: obstacle range: %w", err)
+	}
+	return g.AddObstacles(batch) > 0, nil
+}
+
+// InsideObstacle reports whether p lies strictly inside some obstacle's
+// interior. Such points can reach nothing (every sight line is blocked), so
+// the query algorithms reject them up front instead of letting the range
+// enlargement of Fig 8 escalate to the whole dataset trying to prove
+// unreachability.
+func (e *Engine) InsideObstacle(p geom.Point) (bool, error) {
+	inside := false
+	err := e.obstacles.tree.SearchCircle(p, 0, func(it rtree.Item) bool {
+		if e.obstacles.polys[it.Data].ContainsStrict(p) {
+			inside = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, fmt.Errorf("core: obstacle point query: %w", err)
+	}
+	return inside, nil
+}
+
+// coverRadius returns a radius from center that covers every obstacle; a
+// search that wide that still finds no path proves unreachability.
+func (e *Engine) coverRadius(center geom.Point) (float64, error) {
+	b, err := e.obstacles.tree.Bounds()
+	if err != nil {
+		return 0, err
+	}
+	if b.IsEmpty() {
+		return 0, nil
+	}
+	return b.MaxDist(center), nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/visgraph"
+)
+
+// obstructedDistance implements compute_obstructed_distance (Fig 8 of the
+// paper): the shortest-path distance between two graph nodes is provisional
+// until no obstacle outside the current search range can intersect the path,
+// so the range is iteratively enlarged to the latest provisional distance
+// and newly discovered obstacles are folded into the graph. The distance is
+// monotonically non-decreasing across iterations; the loop stops when an
+// enlargement discovers no new obstacle.
+//
+// center must be the point of one of the two nodes (the paper centers ranges
+// at the query point): any path of length L from it stays inside the disk of
+// radius L, which is what makes the termination condition sound.
+//
+// searched is the radius already covered by the caller's initial graph.
+// When the nodes are disconnected the range is doubled geometrically; once
+// the range covers every obstacle and no path exists, the distance is +Inf
+// (p is sealed off, a case the paper does not discuss but real data can
+// produce).
+func (e *Engine) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, center geom.Point, searched float64) (float64, error) {
+	cover, err := e.coverRadius(center)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		d := g.ObstructedDist(np, nq)
+		var radius float64
+		if math.IsInf(d, 1) {
+			if searched >= cover {
+				return d, nil // provably unreachable
+			}
+			radius = searched * 2
+			if radius < geom.Eps {
+				radius = 1
+			}
+			if radius > cover {
+				radius = cover
+			}
+		} else {
+			if d <= searched {
+				// Every obstacle that could touch a path of length d is
+				// already in the graph.
+				return d, nil
+			}
+			radius = d
+		}
+		added, err := e.addObstaclesWithin(g, center, radius)
+		if err != nil {
+			return 0, err
+		}
+		if radius > searched {
+			searched = radius
+		}
+		if !added && !math.IsInf(d, 1) {
+			// Termination condition of Fig 8: the last enlargement found no
+			// new obstacle, so the provisional distance is final.
+			return d, nil
+		}
+		if !added && math.IsInf(d, 1) && searched >= cover {
+			return d, nil
+		}
+	}
+}
+
+// ObstructedPath returns a shortest obstacle-avoiding path from a to b as a
+// point sequence (bending only at obstacle vertices, per [LW79]) together
+// with its length. The path is nil and the length +Inf when b is
+// unreachable. The graph is grown by the same iterative enlargement as
+// ObstructedDistance before the final path is extracted.
+func (e *Engine) ObstructedPath(a, b geom.Point) ([]geom.Point, float64, error) {
+	for _, p := range [2]geom.Point{a, b} {
+		inside, err := e.InsideObstacle(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		if inside {
+			return nil, math.Inf(1), nil
+		}
+	}
+	r := a.Dist(b)
+	obs, err := e.relevantObstacles(a, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	g := visgraph.Build(e.graphOptions(), obs)
+	na := g.AddTerminal(a)
+	nb := g.AddTerminal(b)
+	d, err := e.obstructedDistance(g, nb, na, a, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	if math.IsInf(d, 1) {
+		return nil, d, nil
+	}
+	nodes, dist := g.ShortestPath(na, nb)
+	path := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		path[i] = g.Point(n)
+	}
+	return path, dist, nil
+}
+
+// ObstructedDistance computes dO(a, b) from scratch: it builds a local
+// visibility graph with the obstacles in the Euclidean range dE(a, b) around
+// a (as in Fig 7) and runs the iterative enlargement. It returns +Inf when b
+// is unreachable from a, including when either point lies strictly inside an
+// obstacle.
+func (e *Engine) ObstructedDistance(a, b geom.Point) (float64, error) {
+	for _, p := range [2]geom.Point{a, b} {
+		inside, err := e.InsideObstacle(p)
+		if err != nil {
+			return 0, err
+		}
+		if inside {
+			return math.Inf(1), nil
+		}
+	}
+	r := a.Dist(b)
+	obs, err := e.relevantObstacles(a, r)
+	if err != nil {
+		return 0, err
+	}
+	g := visgraph.Build(e.graphOptions(), obs)
+	na := g.AddTerminal(a)
+	nb := g.AddTerminal(b)
+	return e.obstructedDistance(g, nb, na, a, r)
+}

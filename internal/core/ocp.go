@@ -1,0 +1,216 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/visgraph"
+)
+
+// ClosestPairs answers an obstacle closest-pair query (OCP, Fig 11): the k
+// pairs (s, t), s in S, t in T, with the smallest obstructed distance,
+// sorted by it. Euclidean pairs are retrieved incrementally [HS98, CMTV00];
+// each has its obstructed distance evaluated, and retrieval stops once the
+// next Euclidean pair distance exceeds the k-th obstructed distance.
+func (e *Engine) ClosestPairs(S, T *PointSet, k int) ([]JoinPair, Stats, error) {
+	var st Stats
+	if k <= 0 || S.Len() == 0 || T.Len() == 0 {
+		return nil, st, nil
+	}
+	it, err := rtree.NewClosestPairIterator(S.tree, T.tree)
+	if err != nil {
+		return nil, st, err
+	}
+	cache := newPairDistCache(e)
+	R := make([]JoinPair, 0, k)
+	// Seed with the first k Euclidean pairs.
+	for len(R) < k {
+		pr, ok := it.Next()
+		if !ok {
+			break
+		}
+		st.Candidates++
+		d, err := cache.distance(pr, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		R = append(R, JoinPair{SID: pr.A.Data, TID: pr.B.Data, Dist: d})
+	}
+	if err := it.Err(); err != nil {
+		return nil, st, err
+	}
+	if len(R) == 0 {
+		return nil, st, nil
+	}
+	sortPairs(R)
+	dEmax := R[len(R)-1].Dist
+	for {
+		pr, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				return nil, st, err
+			}
+			break
+		}
+		if pr.Dist > dEmax {
+			break
+		}
+		st.Candidates++
+		d, err := cache.distance(pr, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		if d < R[len(R)-1].Dist {
+			R[len(R)-1] = JoinPair{SID: pr.A.Data, TID: pr.B.Data, Dist: d}
+			sortPairs(R)
+			dEmax = R[len(R)-1].Dist
+		}
+	}
+	st.Results = len(R)
+	st.GraphNodes, st.GraphEdges = cache.maxNodes, cache.maxEdges
+	return R, st, nil
+}
+
+// pairDistCache evaluates obstructed distances of Euclidean pairs. The
+// incremental closest-pair stream frequently repeats one endpoint in
+// consecutive pairs, so the visibility graph around the most recent s-side
+// point is kept and reused (including any obstacles the iterative
+// enlargement pulled in).
+type pairDistCache struct {
+	e        *Engine
+	seedPt   geom.Point
+	valid    bool
+	g        *visgraph.Graph
+	ns       visgraph.NodeID
+	searched float64
+	maxNodes int
+	maxEdges int
+}
+
+func newPairDistCache(e *Engine) *pairDistCache {
+	return &pairDistCache{e: e}
+}
+
+func (c *pairDistCache) distance(pr rtree.PairNeighbor, st *Stats) (float64, error) {
+	s := pr.A.Rect.Center()
+	t := pr.B.Rect.Center()
+	// Endpoints sealed inside an obstacle reach nothing; skip the range
+	// enlargement that would otherwise scan the whole obstacle dataset.
+	for _, p := range [2]geom.Point{s, t} {
+		if inside, err := c.e.InsideObstacle(p); err != nil {
+			return 0, err
+		} else if inside {
+			return math.Inf(1), nil
+		}
+	}
+	if !c.valid || !c.seedPt.Eq(s) {
+		obs, err := c.e.relevantObstacles(s, s.Dist(t))
+		if err != nil {
+			return 0, err
+		}
+		c.g = visgraph.Build(c.e.graphOptions(), obs)
+		c.ns = c.g.AddTerminal(s)
+		c.seedPt = s
+		c.searched = s.Dist(t)
+		c.valid = true
+	}
+	st.DistComputations++
+	nt := c.g.AddTerminal(t)
+	d, err := c.e.obstructedDistance(c.g, nt, c.ns, s, c.searched)
+	c.g.DeleteEntity(nt)
+	if err != nil {
+		return 0, err
+	}
+	if d > c.searched && !math.IsInf(d, 1) {
+		c.searched = d
+	}
+	if n, m := c.g.NumNodes(), c.g.NumEdges(); n > c.maxNodes {
+		c.maxNodes, c.maxEdges = n, m
+	}
+	return d, nil
+}
+
+// CPIterator reports pairs in ascending order of obstructed distance without
+// a predeclared k (iOCP, Fig 12): a buffered pair can be emitted as soon as
+// its obstructed distance is at most the Euclidean distance of the last pair
+// retrieved, since every future pair has dO >= dE.
+type CPIterator struct {
+	e       *Engine
+	src     *rtree.CPIterator
+	srcDone bool
+	last    float64
+	cache   *pairDistCache
+	ready   pairHeap
+	err     error
+	stats   Stats
+}
+
+type pairHeap []JoinPair
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist < h[j].Dist
+	}
+	if h[i].SID != h[j].SID {
+		return h[i].SID < h[j].SID
+	}
+	return h[i].TID < h[j].TID
+}
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(JoinPair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ClosestPairIterator starts an incremental obstructed closest-pair search.
+func (e *Engine) ClosestPairIterator(S, T *PointSet) (*CPIterator, error) {
+	src, err := rtree.NewClosestPairIterator(S.tree, T.tree)
+	if err != nil {
+		return nil, err
+	}
+	return &CPIterator{e: e, src: src, cache: newPairDistCache(e)}, nil
+}
+
+// Next returns the next pair by obstructed distance. ok is false when the
+// pairs are exhausted or an error occurred (check Err).
+func (it *CPIterator) Next() (JoinPair, bool) {
+	for it.err == nil {
+		if len(it.ready) > 0 && (it.srcDone || it.ready[0].Dist <= it.last) {
+			return heap.Pop(&it.ready).(JoinPair), true
+		}
+		if it.srcDone {
+			return JoinPair{}, false
+		}
+		pr, ok := it.src.Next()
+		if !ok {
+			if err := it.src.Err(); err != nil {
+				it.err = err
+				return JoinPair{}, false
+			}
+			it.srcDone = true
+			continue
+		}
+		it.last = pr.Dist
+		it.stats.Candidates++
+		d, err := it.cache.distance(pr, &it.stats)
+		if err != nil {
+			it.err = err
+			return JoinPair{}, false
+		}
+		heap.Push(&it.ready, JoinPair{SID: pr.A.Data, TID: pr.B.Data, Dist: d})
+	}
+	return JoinPair{}, false
+}
+
+// Err returns the first error encountered, if any.
+func (it *CPIterator) Err() error { return it.err }
+
+// Stats returns the work counters accumulated so far.
+func (it *CPIterator) Stats() Stats { return it.stats }

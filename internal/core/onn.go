@@ -1,0 +1,259 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/visgraph"
+)
+
+// NearestNeighbors answers an obstacle k-nearest-neighbor query (ONN,
+// Fig 9): the k entities of P with the smallest obstructed distance from q,
+// sorted by that distance. Euclidean neighbors are retrieved incrementally
+// [HS99]; each has its obstructed distance evaluated on a shared local
+// visibility graph that grows as needed (Fig 8), and retrieval stops once
+// the next Euclidean distance exceeds the k-th obstructed distance (dEmax),
+// which only shrinks as better neighbors are found.
+func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, Stats, error) {
+	var st Stats
+	if k <= 0 || P.Len() == 0 {
+		return nil, st, nil
+	}
+	if inside, err := e.InsideObstacle(q); err != nil || inside {
+		return nil, st, err // a blocked query point reaches nothing
+	}
+	it := P.tree.NearestIterator(q)
+	// Seed with the k Euclidean NNs.
+	var seed []Result
+	var seedMaxE float64
+	for len(seed) < k {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		seed = append(seed, Result{ID: nb.Item.Data, Pt: nb.Item.Rect.Center(), Dist: nb.Dist})
+		seedMaxE = nb.Dist
+	}
+	if err := it.Err(); err != nil {
+		return nil, st, err
+	}
+	st.Candidates = len(seed)
+	euclidIDs := make(map[int64]bool, len(seed))
+	for _, r := range seed {
+		euclidIDs[r.ID] = true
+	}
+	// Build the initial graph with the obstacles within the k-th Euclidean
+	// distance; obstructedDistance enlarges it on demand.
+	obs, err := e.relevantObstacles(q, seedMaxE)
+	if err != nil {
+		return nil, st, err
+	}
+	g := visgraph.Build(e.graphOptions(), obs)
+	nq := g.AddTerminal(q)
+	searched := seedMaxE
+
+	R := make([]Result, 0, k)
+	evaluate := func(id int64, pt geom.Point) (float64, error) {
+		// Entities buried inside obstacles are unreachable; skip the
+		// enlargement loop that would otherwise pull in every obstacle.
+		if inside, err := e.InsideObstacle(pt); err != nil {
+			return 0, err
+		} else if inside {
+			return math.Inf(1), nil
+		}
+		st.DistComputations++
+		np := g.AddTerminal(pt)
+		d, err := e.obstructedDistance(g, np, nq, q, searched)
+		g.DeleteEntity(np)
+		if err != nil {
+			return 0, err
+		}
+		// The graph kept any obstacles added during the computation; the
+		// covered radius can only have grown.
+		if d > searched && !math.IsInf(d, 1) {
+			searched = d
+		}
+		return d, nil
+	}
+	for _, s := range seed {
+		d, err := evaluate(s.ID, s.Pt)
+		if err != nil {
+			return nil, st, err
+		}
+		R = append(R, Result{ID: s.ID, Pt: s.Pt, Dist: d})
+	}
+	sortResults(R)
+	dEmax := R[len(R)-1].Dist
+
+	// Retrieve further Euclidean neighbors while they can possibly beat the
+	// current k-th obstructed distance.
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				return nil, st, err
+			}
+			break
+		}
+		if nb.Dist > dEmax {
+			break
+		}
+		st.Candidates++
+		pt := nb.Item.Rect.Center()
+		d, err := evaluate(nb.Item.Data, pt)
+		if err != nil {
+			return nil, st, err
+		}
+		if d < R[len(R)-1].Dist {
+			R[len(R)-1] = Result{ID: nb.Item.Data, Pt: pt, Dist: d}
+			sortResults(R)
+			dEmax = R[len(R)-1].Dist
+		}
+	}
+	st.GraphNodes, st.GraphEdges = g.NumNodes(), g.NumEdges()
+	st.Results = len(R)
+	// False hits: Euclidean kNNs that are not obstructed kNNs (Fig 18).
+	for _, r := range R {
+		if euclidIDs[r.ID] {
+			delete(euclidIDs, r.ID)
+		}
+	}
+	st.FalseHits = len(euclidIDs)
+	return R, st, nil
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// NNIterator reports the entities of P in ascending order of obstructed
+// distance from q without a predeclared k — the incremental ONN variant the
+// paper derives from iOCP (Section 6): an entity can be emitted as soon as
+// its obstructed distance is no larger than the Euclidean distance of the
+// last candidate retrieved, since every future candidate has dO >= dE.
+type NNIterator struct {
+	e        *Engine
+	q        geom.Point
+	src      *rtree.NNIterator
+	srcDone  bool
+	last     float64 // Euclidean distance of the last retrieved candidate
+	g        *visgraph.Graph
+	nq       visgraph.NodeID
+	searched float64
+	ready    resultHeap
+	err      error
+	stats    Stats
+	qChecked bool
+	qInside  bool
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist < h[j].Dist
+	}
+	return h[i].ID < h[j].ID
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestIterator starts an incremental obstructed nearest-neighbor search.
+func (e *Engine) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
+	g := visgraph.Build(e.graphOptions(), nil)
+	return &NNIterator{
+		e:   e,
+		q:   q,
+		src: P.tree.NearestIterator(q),
+		g:   g,
+		nq:  g.AddTerminal(q),
+	}
+}
+
+// Next returns the next entity by obstructed distance. ok is false when the
+// set is exhausted or an error occurred (check Err).
+func (it *NNIterator) Next() (Result, bool) {
+	for it.err == nil {
+		// A buffered result can be emitted once no future Euclidean
+		// candidate (all with dE >= it.last, hence dO >= it.last) can beat
+		// it.
+		if len(it.ready) > 0 && (it.srcDone || it.ready[0].Dist <= it.last) {
+			return heap.Pop(&it.ready).(Result), true
+		}
+		if it.srcDone {
+			return Result{}, false
+		}
+		nb, ok := it.src.Next()
+		if !ok {
+			if err := it.src.Err(); err != nil {
+				it.err = err
+				return Result{}, false
+			}
+			it.srcDone = true
+			continue
+		}
+		it.last = nb.Dist
+		pt := nb.Item.Rect.Center()
+		it.stats.Candidates++
+		var d float64
+		if blocked, err := it.blockedEndpoint(pt); err != nil {
+			it.err = err
+			return Result{}, false
+		} else if blocked {
+			d = math.Inf(1)
+		} else {
+			it.stats.DistComputations++
+			np := it.g.AddTerminal(pt)
+			var err error
+			d, err = it.e.obstructedDistance(it.g, np, it.nq, it.q, it.searched)
+			it.g.DeleteEntity(np)
+			if err != nil {
+				it.err = err
+				return Result{}, false
+			}
+			if d > it.searched && !math.IsInf(d, 1) {
+				it.searched = d
+			}
+		}
+		heap.Push(&it.ready, Result{ID: nb.Item.Data, Pt: pt, Dist: d})
+	}
+	return Result{}, false
+}
+
+// blockedEndpoint reports whether either the query point or pt is sealed
+// inside an obstacle, making the pair's distance trivially +Inf.
+func (it *NNIterator) blockedEndpoint(pt geom.Point) (bool, error) {
+	if !it.qChecked {
+		inside, err := it.e.InsideObstacle(it.q)
+		if err != nil {
+			return false, err
+		}
+		it.qChecked, it.qInside = true, inside
+	}
+	if it.qInside {
+		return true, nil
+	}
+	return it.e.InsideObstacle(pt)
+}
+
+// Err returns the first error encountered, if any.
+func (it *NNIterator) Err() error { return it.err }
+
+// Stats returns the work counters accumulated so far.
+func (it *NNIterator) Stats() Stats { return it.stats }

@@ -1,0 +1,261 @@
+// Package dataset generates the synthetic datasets of the experimental
+// evaluation. The paper uses the MBRs of 131,461 Los Angeles street segments
+// [Web] as obstacles; that server is long gone, so this package provides a
+// street-map generator reproducing the properties the experiments depend
+// on: (i) thin, axis-parallel rectangles that obstruct long sight lines,
+// (ii) a highly non-uniform spatial distribution with dense "downtown"
+// hot-spots, and (iii) entity/query points correlated with the obstacle
+// distribution (points lie on obstacle boundaries but never in interiors,
+// exactly as the paper states).
+//
+// Obstacles are pairwise disjoint by construction: streets are laid on a
+// jittered grid and each street is cut into per-block segments with gaps at
+// crossings, so generation is O(n log n) with no rejection sampling.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Config parameterizes generation. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal datasets.
+	Seed int64
+	// Universe is the side length of the square data space.
+	Universe float64
+	// Obstacles is the number of street-segment MBRs to produce.
+	Obstacles int
+	// Hotspots is the number of high-density centers (downtowns).
+	Hotspots int
+	// HotspotFraction is the share of streets attracted to hot-spots.
+	HotspotFraction float64
+	// MaxRunBlocks > 1 lets street segments run unbroken through crossings
+	// they "own" (geometric run lengths, mean ~1.8 blocks). Longer segments
+	// form longer barriers, which is what makes obstructed detours grow
+	// with the query range as in the paper's street data. 1 cuts every
+	// street at every crossing.
+	MaxRunBlocks int
+}
+
+// DefaultConfig mirrors the paper's setup at a configurable cardinality:
+// |O| = 131,461 in the paper; callers scale it down for quick runs.
+func DefaultConfig(seed int64, obstacles int) Config {
+	return Config{
+		Seed:            seed,
+		Universe:        10000,
+		Obstacles:       obstacles,
+		Hotspots:        4,
+		HotspotFraction: 0.5,
+		MaxRunBlocks:    4,
+	}
+}
+
+// World is a generated dataset: obstacles plus samplers for correlated
+// entity and query points.
+type World struct {
+	cfg   Config
+	Rects []geom.Rect
+	Polys []geom.Polygon
+}
+
+// Generate builds the obstacle set for cfg.
+func Generate(cfg Config) *World {
+	if cfg.Universe <= 0 {
+		cfg.Universe = 10000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rects := streetMap(rng, cfg)
+	polys := make([]geom.Polygon, len(rects))
+	for i, r := range rects {
+		polys[i] = geom.RectPolygon(r)
+	}
+	return &World{cfg: cfg, Rects: rects, Polys: polys}
+}
+
+// streetMap lays jittered, hot-spot-weighted street lines on both axes and
+// cuts each street into disjoint per-block segment MBRs.
+func streetMap(rng *rand.Rand, cfg Config) []geom.Rect {
+	n := cfg.Obstacles
+	if n <= 0 {
+		return nil
+	}
+	L := cfg.Universe
+	runBias := 0.0
+	if cfg.MaxRunBlocks > 1 {
+		runBias = 0.9 // continuation probability for the crossing's owner
+	}
+	avgRun := 1 / (1 - runBias/2)
+	// ~2*V*H/avgRun segments from V+H lines; aim ~40% above the target so
+	// that truncation after shuffling keeps the distribution intact.
+	lines := int(math.Ceil(math.Sqrt(float64(n) * 0.7 * avgRun)))
+	if lines < 2 {
+		lines = 2
+	}
+	spacing := L / float64(lines)
+	width := spacing / 6
+	gap := width // keeps crossing streets disjoint (gap >= width/2)
+
+	xs := samplePositions(rng, cfg, lines, L, 3*width)
+	ys := samplePositions(rng, cfg, lines, L, 3*width)
+
+	// At every crossing exactly one of the two streets may run through
+	// unbroken (longer segments form longer barriers); the other breaks,
+	// which keeps all segments pairwise disjoint by construction.
+	contV := make([][]bool, len(xs)) // vertical street i continues past ys[j]
+	contH := make([][]bool, len(ys)) // horizontal street j continues past xs[i]
+	for i := range contV {
+		contV[i] = make([]bool, len(ys))
+	}
+	for j := range contH {
+		contH[j] = make([]bool, len(xs))
+	}
+	for i := range xs {
+		for j := range ys {
+			if rng.Intn(2) == 0 {
+				contV[i][j] = rng.Float64() < runBias
+			} else {
+				contH[j][i] = rng.Float64() < runBias
+			}
+		}
+	}
+	// cutStreet slices one street into segments, breaking at every crossing
+	// the street does not continue through.
+	cutStreet := func(cross []float64, cont []bool, w float64, emit func(lo, hi float64)) {
+		start := 0
+		for j := 1; j < len(cross); j++ {
+			if j < len(cross)-1 && cont[j] {
+				continue
+			}
+			lo, hi := cross[start]+gap, cross[j]-gap
+			if hi-lo >= w {
+				emit(lo, hi)
+			}
+			start = j
+		}
+	}
+	var rects []geom.Rect
+	for i, x := range xs {
+		w := width * (0.5 + rng.Float64()*0.5)
+		cutStreet(ys, contV[i], w, func(lo, hi float64) {
+			rects = append(rects, geom.R(x-w/2, lo, x+w/2, hi))
+		})
+	}
+	for j, y := range ys {
+		w := width * (0.5 + rng.Float64()*0.5)
+		cutStreet(xs, contH[j], w, func(lo, hi float64) {
+			rects = append(rects, geom.R(lo, y-w/2, hi, y+w/2))
+		})
+	}
+	rng.Shuffle(len(rects), func(i, j int) { rects[i], rects[j] = rects[j], rects[i] })
+	if len(rects) > n {
+		rects = rects[:n]
+	}
+	return rects
+}
+
+// samplePositions draws sorted line coordinates from a mixture of a uniform
+// component and Gaussians around the hot-spots, then enforces a minimum
+// spacing so crossing streets stay disjoint.
+func samplePositions(rng *rand.Rand, cfg Config, count int, L, minGap float64) []float64 {
+	centers := make([]float64, cfg.Hotspots)
+	for i := range centers {
+		centers[i] = rng.Float64() * L
+	}
+	raw := make([]float64, 0, count*2)
+	for len(raw) < count*2 {
+		var v float64
+		if len(centers) > 0 && rng.Float64() < cfg.HotspotFraction {
+			c := centers[rng.Intn(len(centers))]
+			v = c + rng.NormFloat64()*L/12
+		} else {
+			v = rng.Float64() * L
+		}
+		if v > minGap && v < L-minGap {
+			raw = append(raw, v)
+		}
+	}
+	sort.Float64s(raw)
+	out := make([]float64, 0, count)
+	last := -minGap
+	for _, v := range raw {
+		if v-last >= minGap {
+			out = append(out, v)
+			last = v
+			if len(out) == count {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EntityRand returns a deterministic sub-generator for entity sampling, so
+// different datasets drawn from the same world are independent.
+func (w *World) EntityRand(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(w.cfg.Seed*1_000_003 + salt))
+}
+
+// Entities samples n points following the obstacle distribution: each lies
+// on the boundary of a randomly chosen obstacle (never in an interior,
+// since obstacles are disjoint). With no obstacles it falls back to uniform.
+func (w *World) Entities(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = w.BoundaryPoint(rng)
+	}
+	return pts
+}
+
+// BoundaryPoint samples one point on the boundary of a random obstacle.
+func (w *World) BoundaryPoint(rng *rand.Rand) geom.Point {
+	if len(w.Rects) == 0 {
+		return geom.Pt(rng.Float64()*w.cfg.Universe, rng.Float64()*w.cfg.Universe)
+	}
+	r := w.Rects[rng.Intn(len(w.Rects))]
+	perim := 2 * (r.Width() + r.Height())
+	d := rng.Float64() * perim
+	switch {
+	case d < r.Width(): // bottom
+		return geom.Pt(r.MinX+d, r.MinY)
+	case d < r.Width()+r.Height(): // right
+		return geom.Pt(r.MaxX, r.MinY+(d-r.Width()))
+	case d < 2*r.Width()+r.Height(): // top
+		return geom.Pt(r.MaxX-(d-r.Width()-r.Height()), r.MaxY)
+	default: // left
+		return geom.Pt(r.MinX, r.MaxY-(d-2*r.Width()-r.Height()))
+	}
+}
+
+// Queries samples a query workload following the obstacle distribution, as
+// in the experiments (Section 7).
+func (w *World) Queries(rng *rand.Rand, n int) []geom.Point {
+	return w.Entities(rng, n)
+}
+
+// UniformPoints samples points uniformly in the universe, rejecting obstacle
+// interiors; an alternative entity distribution for sensitivity studies.
+func (w *World) UniformPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*w.cfg.Universe, rng.Float64()*w.cfg.Universe)
+		inside := false
+		for _, r := range w.Rects {
+			if r.ContainsStrict(p) {
+				inside = true
+				break
+			}
+		}
+		if !inside {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// Universe returns the side length of the data space.
+func (w *World) Universe() float64 { return w.cfg.Universe }

@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateCountAndBounds(t *testing.T) {
+	for _, n := range []int{0, 10, 500, 5000} {
+		w := Generate(DefaultConfig(7, n))
+		if len(w.Rects) != n {
+			t.Fatalf("n=%d: got %d obstacles", n, len(w.Rects))
+		}
+		for i, r := range w.Rects {
+			if r.IsEmpty() || r.Width() <= 0 || r.Height() <= 0 {
+				t.Fatalf("obstacle %d degenerate: %v", i, r)
+			}
+			if r.MinX < 0 || r.MinY < 0 || r.MaxX > w.Universe() || r.MaxY > w.Universe() {
+				t.Fatalf("obstacle %d out of universe: %v", i, r)
+			}
+		}
+	}
+}
+
+func TestObstaclesDisjoint(t *testing.T) {
+	w := Generate(DefaultConfig(11, 3000))
+	// Grid-bucket sweep to check pairwise disjointness in O(n log n)-ish.
+	type idxRect struct {
+		i int
+		r geom.Rect
+	}
+	byX := make([]idxRect, len(w.Rects))
+	for i, r := range w.Rects {
+		byX[i] = idxRect{i, r}
+	}
+	// Simple O(n^2) with early x-break after sorting by MinX.
+	for i := range byX {
+		for j := i + 1; j < len(byX); j++ {
+			a, b := byX[i].r, byX[j].r
+			if a.Intersects(b) {
+				t.Fatalf("obstacles %d and %d overlap: %v %v", byX[i].i, byX[j].i, a, b)
+			}
+		}
+		if i > 400 { // bound the quadratic scan; earlier pairs are random anyway
+			break
+		}
+	}
+}
+
+func TestStreetsAreThin(t *testing.T) {
+	w := Generate(DefaultConfig(13, 2000))
+	thin := 0
+	for _, r := range w.Rects {
+		aspect := math.Max(r.Width(), r.Height()) / math.Min(r.Width(), r.Height())
+		if aspect > 2 {
+			thin++
+		}
+	}
+	// Hot-spot areas have short blocks (stubby segments), so not every MBR
+	// is extreme; the majority must still be elongated.
+	if frac := float64(thin) / float64(len(w.Rects)); frac < 0.6 {
+		t.Errorf("only %.0f%% of street MBRs are elongated", frac*100)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(DefaultConfig(42, 1000))
+	b := Generate(DefaultConfig(42, 1000))
+	if len(a.Rects) != len(b.Rects) {
+		t.Fatal("cardinality differs")
+	}
+	for i := range a.Rects {
+		if a.Rects[i] != b.Rects[i] {
+			t.Fatalf("rect %d differs", i)
+		}
+	}
+	ra, rb := a.EntityRand(1), b.EntityRand(1)
+	pa, pb := a.Entities(ra, 100), b.Entities(rb, 100)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("entity %d differs", i)
+		}
+	}
+	// Different salt gives a different dataset.
+	pc := a.Entities(a.EntityRand(2), 100)
+	same := 0
+	for i := range pa {
+		if pa[i] == pc[i] {
+			same++
+		}
+	}
+	if same == len(pa) {
+		t.Error("different salts produced identical entities")
+	}
+}
+
+func TestEntitiesOnBoundariesNotInteriors(t *testing.T) {
+	w := Generate(DefaultConfig(17, 800))
+	pts := w.Entities(w.EntityRand(3), 500)
+	for i, p := range pts {
+		onBoundary := false
+		for _, pg := range w.Polys {
+			if pg.ContainsStrict(p) {
+				t.Fatalf("entity %d strictly inside an obstacle", i)
+			}
+			if !onBoundary && pg.OnBoundary(p) {
+				onBoundary = true
+			}
+		}
+		if !onBoundary {
+			t.Fatalf("entity %d not on any obstacle boundary: %v", i, p)
+		}
+	}
+}
+
+func TestHotspotsProduceNonUniformDensity(t *testing.T) {
+	w := Generate(DefaultConfig(19, 8000))
+	// Split the universe into a 4x4 grid and count obstacle centers; a
+	// uniform layout would give ~n/16 per cell, hot-spots should skew this.
+	counts := make([]int, 16)
+	L := w.Universe()
+	for _, r := range w.Rects {
+		c := r.Center()
+		i := int(c.X/(L/4))*4 + int(c.Y/(L/4))
+		if i >= 16 {
+			i = 15
+		}
+		counts[i]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2*min {
+		t.Errorf("density looks uniform: min %d max %d", min, max)
+	}
+}
+
+func TestUniformPointsAvoidInteriors(t *testing.T) {
+	w := Generate(DefaultConfig(23, 500))
+	pts := w.UniformPoints(w.EntityRand(4), 200)
+	if len(pts) != 200 {
+		t.Fatalf("got %d", len(pts))
+	}
+	for i, p := range pts {
+		for _, r := range w.Rects {
+			if r.ContainsStrict(p) {
+				t.Fatalf("uniform point %d inside obstacle", i)
+			}
+		}
+	}
+}
+
+func TestQueriesFollowObstacleDistribution(t *testing.T) {
+	w := Generate(DefaultConfig(29, 1000))
+	qs := w.Queries(w.EntityRand(5), 50)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		on := false
+		for _, pg := range w.Polys {
+			if pg.OnBoundary(q) {
+				on = true
+				break
+			}
+		}
+		if !on {
+			t.Fatalf("query %d not obstacle-correlated", i)
+		}
+	}
+}
+
+func TestNoObstaclesFallsBackToUniform(t *testing.T) {
+	w := Generate(DefaultConfig(31, 0))
+	pts := w.Entities(w.EntityRand(6), 10)
+	for _, p := range pts {
+		if p.X < 0 || p.X > w.Universe() || p.Y < 0 || p.Y > w.Universe() {
+			t.Fatalf("point out of universe: %v", p)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// WriteRects writes rectangles as CSV lines "minx,miny,maxx,maxy".
+func WriteRects(w io.Writer, rects []geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rects {
+		if _, err := fmt.Fprintf(bw, "%g,%g,%g,%g\n", r.MinX, r.MinY, r.MaxX, r.MaxY); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRects parses rectangles written by WriteRects.
+func ReadRects(r io.Reader) ([]geom.Rect, error) {
+	var out []geom.Rect
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f, err := parseFloats(text, 4)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: rects line %d: %w", line, err)
+		}
+		rect := geom.R(f[0], f[1], f[2], f[3])
+		if rect.IsEmpty() {
+			return nil, fmt.Errorf("dataset: rects line %d: empty rectangle", line)
+		}
+		out = append(out, rect)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WritePoints writes points as CSV lines "x,y".
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints parses points written by WritePoints.
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	var out []geom.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f, err := parseFloats(text, 2)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: points line %d: %w", line, err)
+		}
+		out = append(out, geom.Pt(f[0], f[1]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseFloats(line string, n int) ([]float64, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d fields, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRectsRoundTrip(t *testing.T) {
+	in := []geom.Rect{
+		geom.R(0, 0, 1, 2),
+		geom.R(-5.5, 3.25, 10.125, 20),
+		geom.R(1e-9, 1e-9, 2e-9, 3e-9),
+	}
+	var buf bytes.Buffer
+	if err := WriteRects(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d rects", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("rect %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestPointsRoundTrip(t *testing.T) {
+	in := []geom.Point{{X: 1, Y: 2}, {X: -3.5, Y: 0}, {X: 123456.789, Y: -0.001}}
+	var buf bytes.Buffer
+	if err := WritePoints(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPoints(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d points", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("point %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\n1,2\n  # indented comment\n3,4\n"
+	pts, err := ReadPoints(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0] != geom.Pt(1, 2) || pts[1] != geom.Pt(3, 4) {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		rects     bool
+	}{
+		{"too few fields", "1,2,3\n", true},
+		{"too many fields", "1,2,3\n", false},
+		{"bad number", "1,x\n", false},
+		{"empty rect", "5,5,1,1\n", true},
+	}
+	for _, c := range cases {
+		var err error
+		if c.rects {
+			_, err = ReadRects(strings.NewReader(c.src))
+		} else {
+			_, err = ReadPoints(strings.NewReader(c.src))
+		}
+		if err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestGeneratedWorldRoundTrip(t *testing.T) {
+	w := Generate(DefaultConfig(5, 500))
+	var buf bytes.Buffer
+	if err := WriteRects(&buf, w.Rects); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(w.Rects) {
+		t.Fatalf("got %d", len(back))
+	}
+	for i := range back {
+		if back[i] != w.Rects[i] {
+			t.Fatalf("rect %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Seed:          3,
+		ObstacleCount: 600,
+		Workload:      6,
+		PageSize:      1024,
+		BufferFrac:    0.10,
+		UseSweep:      true,
+	}
+}
+
+func TestUniverseScaling(t *testing.T) {
+	full := Config{ObstacleCount: PaperObstacleCount}
+	if math.Abs(full.Universe()-PaperUniverse) > 1e-9 {
+		t.Errorf("full-scale universe = %v", full.Universe())
+	}
+	quarter := Config{ObstacleCount: PaperObstacleCount / 4}
+	if math.Abs(quarter.Universe()-PaperUniverse/2) > 1 {
+		t.Errorf("quarter-scale universe = %v, want ~%v", quarter.Universe(), PaperUniverse/2)
+	}
+}
+
+func TestLabCachesEntitySets(t *testing.T) {
+	lab, err := NewLab(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lab.EntitySet(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.EntitySet(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("entity set not cached")
+	}
+	c, err := lab.EntitySet(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.Len() != 200 {
+		t.Error("different cardinality should build a new set")
+	}
+	if len(lab.Queries()) != tinyConfig().Workload {
+		t.Errorf("workload size = %d", len(lab.Queries()))
+	}
+}
+
+func TestSuiteSmoke(t *testing.T) {
+	// A miniature end-to-end run of every figure: validates plumbing,
+	// not performance numbers. Grids are shrunk because large k on a tiny
+	// world degenerates (the k-th neighbor radius spans the universe).
+	s, err := NewSuite(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Ratios = []float64{0.1, 1}
+	s.ORRanges = []float64{0.05, 0.5}
+	s.Ks = []int{1, 8}
+	s.JoinRatios = []float64{0.05, 0.5}
+	s.JoinRanges = []float64{0.01, 0.1}
+	tables, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 12 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 2 {
+			t.Errorf("%s: %d rows, want 2", tb.ID, len(tb.Rows))
+		}
+		for _, r := range tb.Rows {
+			if r.X == "" {
+				t.Errorf("%s: empty X label", tb.ID)
+			}
+			if r.CPUms < 0 || r.DataIO < 0 || r.ObstIO < 0 {
+				t.Errorf("%s: negative measurement %+v", tb.ID, r)
+			}
+		}
+		if !strings.Contains(tb.String(), tb.ID) {
+			t.Errorf("%s: String() missing ID", tb.ID)
+		}
+		md := tb.Markdown()
+		if !strings.Contains(md, "|") || !strings.Contains(md, tb.ID) {
+			t.Errorf("%s: Markdown() malformed", tb.ID)
+		}
+	}
+}
+
+func TestSuiteMemoization(t *testing.T) {
+	s, err := NewSuite(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.orByRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.orByRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("orByRatio not memoized")
+	}
+}
+
+func TestORWorkloadSanity(t *testing.T) {
+	// The OR workload at growing e must produce growing candidate counts.
+	s, err := NewSuite(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ORRanges = []float64{0.05, 0.5}
+	rows, err := s.orByRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Candidates < first.Candidates {
+		t.Errorf("candidates should grow with e: %v -> %v", first.Candidates, last.Candidates)
+	}
+	// Results never exceed candidates (false hits are non-negative).
+	for _, r := range rows {
+		if r.Results > r.Candidates+1e-9 {
+			t.Errorf("results %v > candidates %v", r.Results, r.Candidates)
+		}
+	}
+}

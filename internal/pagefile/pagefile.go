@@ -1,0 +1,359 @@
+// Package pagefile simulates the disk layer of a spatial database: a file of
+// fixed-size pages accessed through an LRU buffer pool. The experiments of
+// the paper measure "page accesses" — reads that miss the buffer — and this
+// package provides exactly those counters (Stats.PhysicalReads).
+//
+// A File couples a Storage backend with a write-back LRU buffer. The default
+// backend keeps pages in memory, which preserves the paper's cost model
+// (page granularity + buffer hits) without real disk latency; alternative
+// backends can be supplied for durability or fault-injection tests.
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID identifies a page in a File. Zero is never a valid page.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it never refers to a real page.
+const InvalidPage PageID = 0
+
+// DefaultPageSize matches the experimental setup of the paper (4 KB pages).
+const DefaultPageSize = 4096
+
+// ErrPageNotFound is returned when an operation references a page that was
+// never allocated or has been freed.
+var ErrPageNotFound = errors.New("pagefile: page not found")
+
+// Storage is a raw page store without buffering. Implementations must
+// return pages of exactly PageSize bytes.
+type Storage interface {
+	// ReadPage copies the page contents into dst (len(dst) == PageSize).
+	ReadPage(id PageID, dst []byte) error
+	// WritePage stores data (len(data) == PageSize) as the page contents.
+	WritePage(id PageID, data []byte) error
+	// Allocate reserves a new page and returns its id.
+	Allocate() (PageID, error)
+	// Free releases a page for reuse.
+	Free(id PageID) error
+	// NumPages returns the number of currently allocated pages.
+	NumPages() int
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+}
+
+// MemStorage is an in-memory Storage with a free list.
+type MemStorage struct {
+	pageSize int
+	pages    map[PageID][]byte
+	next     PageID
+	free     []PageID
+}
+
+// NewMemStorage returns an empty in-memory store with the given page size.
+func NewMemStorage(pageSize int) *MemStorage {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemStorage{pageSize: pageSize, pages: make(map[PageID][]byte), next: 1}
+}
+
+// PageSize implements Storage.
+func (m *MemStorage) PageSize() int { return m.pageSize }
+
+// NumPages implements Storage.
+func (m *MemStorage) NumPages() int { return len(m.pages) }
+
+// Allocate implements Storage.
+func (m *MemStorage) Allocate() (PageID, error) {
+	var id PageID
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		id = m.next
+		m.next++
+	}
+	m.pages[id] = make([]byte, m.pageSize)
+	return id, nil
+}
+
+// Free implements Storage.
+func (m *MemStorage) Free(id PageID) error {
+	if _, ok := m.pages[id]; !ok {
+		return fmt.Errorf("%w: free %d", ErrPageNotFound, id)
+	}
+	delete(m.pages, id)
+	m.free = append(m.free, id)
+	return nil
+}
+
+// ReadPage implements Storage.
+func (m *MemStorage) ReadPage(id PageID, dst []byte) error {
+	p, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: read %d", ErrPageNotFound, id)
+	}
+	copy(dst, p)
+	return nil
+}
+
+// WritePage implements Storage.
+func (m *MemStorage) WritePage(id PageID, data []byte) error {
+	p, ok := m.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: write %d", ErrPageNotFound, id)
+	}
+	copy(p, data)
+	return nil
+}
+
+// Stats counts page traffic through a File. LogicalReads counts every Read
+// call; PhysicalReads counts only those that missed the buffer and went to
+// storage — the "page accesses" the paper reports. PhysicalWrites counts
+// write-backs of dirty pages.
+type Stats struct {
+	LogicalReads   uint64
+	PhysicalReads  uint64
+	LogicalWrites  uint64
+	PhysicalWrites uint64
+	BufferHits     uint64
+}
+
+// Sub returns s - t, for computing per-query deltas.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		LogicalReads:   s.LogicalReads - t.LogicalReads,
+		PhysicalReads:  s.PhysicalReads - t.PhysicalReads,
+		LogicalWrites:  s.LogicalWrites - t.LogicalWrites,
+		PhysicalWrites: s.PhysicalWrites - t.PhysicalWrites,
+		BufferHits:     s.BufferHits - t.BufferHits,
+	}
+}
+
+// Add returns s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		LogicalReads:   s.LogicalReads + t.LogicalReads,
+		PhysicalReads:  s.PhysicalReads + t.PhysicalReads,
+		LogicalWrites:  s.LogicalWrites + t.LogicalWrites,
+		PhysicalWrites: s.PhysicalWrites + t.PhysicalWrites,
+		BufferHits:     s.BufferHits + t.BufferHits,
+	}
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	prev  *frame
+	next  *frame
+}
+
+// File is a page file with an LRU buffer pool. It is not safe for concurrent
+// use; the query algorithms are single-threaded, as in the paper.
+type File struct {
+	st       Storage
+	capacity int // buffer capacity in pages (>= 1)
+	frames   map[PageID]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+	stats    Stats
+}
+
+// New returns a File over an in-memory store.
+func New(pageSize, bufferPages int) *File {
+	return NewWithStorage(NewMemStorage(pageSize), bufferPages)
+}
+
+// NewWithStorage returns a File over the given backend.
+func NewWithStorage(st Storage, bufferPages int) *File {
+	if bufferPages < 1 {
+		bufferPages = 1
+	}
+	return &File{st: st, capacity: bufferPages, frames: make(map[PageID]*frame)}
+}
+
+// PageSize returns the page size in bytes.
+func (f *File) PageSize() int { return f.st.PageSize() }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int { return f.st.NumPages() }
+
+// BufferPages returns the buffer pool capacity in pages.
+func (f *File) BufferPages() int { return f.capacity }
+
+// Stats returns the accumulated counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// ResetStats zeroes the counters (the buffer contents are kept, modelling a
+// warm buffer across a query workload as in the paper).
+func (f *File) ResetStats() { f.stats = Stats{} }
+
+// Allocate reserves a new zeroed page.
+func (f *File) Allocate() (PageID, error) { return f.st.Allocate() }
+
+// Free drops a page from the buffer and releases it in storage.
+func (f *File) Free(id PageID) error {
+	if fr, ok := f.frames[id]; ok {
+		f.unlink(fr)
+		delete(f.frames, id)
+	}
+	return f.st.Free(id)
+}
+
+// Read returns the contents of a page. The returned slice aliases the buffer
+// frame and is valid only until the next File operation; callers must copy
+// or fully consume it first.
+func (f *File) Read(id PageID) ([]byte, error) {
+	f.stats.LogicalReads++
+	if fr, ok := f.frames[id]; ok {
+		f.stats.BufferHits++
+		f.touch(fr)
+		return fr.data, nil
+	}
+	f.stats.PhysicalReads++
+	fr, err := f.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.st.ReadPage(id, fr.data); err != nil {
+		f.unlink(fr)
+		delete(f.frames, id)
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// Write replaces the contents of a page. The page becomes dirty in the
+// buffer and reaches storage on eviction or Flush.
+func (f *File) Write(id PageID, data []byte) error {
+	if len(data) != f.PageSize() {
+		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), f.PageSize())
+	}
+	f.stats.LogicalWrites++
+	fr, ok := f.frames[id]
+	if !ok {
+		var err error
+		fr, err = f.admit(id)
+		if err != nil {
+			return err
+		}
+	} else {
+		f.touch(fr)
+	}
+	copy(fr.data, data)
+	fr.dirty = true
+	return nil
+}
+
+// Flush writes back all dirty pages.
+func (f *File) Flush() error {
+	for _, fr := range f.frames {
+		if fr.dirty {
+			if err := f.writeBack(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetBufferPages resizes the buffer pool, evicting LRU pages when shrinking.
+// The experiments use this to size the buffer at 10% of each R-tree after
+// the tree is built.
+func (f *File) SetBufferPages(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	f.capacity = n
+	for len(f.frames) > f.capacity {
+		if err := f.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropBuffer evicts everything (writing back dirty pages), simulating a cold
+// start.
+func (f *File) DropBuffer() error {
+	for len(f.frames) > 0 {
+		if err := f.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *File) admit(id PageID) (*frame, error) {
+	for len(f.frames) >= f.capacity {
+		if err := f.evict(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id, data: make([]byte, f.PageSize())}
+	f.frames[id] = fr
+	f.pushFront(fr)
+	return fr, nil
+}
+
+func (f *File) evict() error {
+	fr := f.tail
+	if fr == nil {
+		return errors.New("pagefile: evict from empty buffer")
+	}
+	if fr.dirty {
+		if err := f.writeBack(fr); err != nil {
+			return err
+		}
+	}
+	f.unlink(fr)
+	delete(f.frames, fr.id)
+	return nil
+}
+
+func (f *File) writeBack(fr *frame) error {
+	f.stats.PhysicalWrites++
+	if err := f.st.WritePage(fr.id, fr.data); err != nil {
+		return err
+	}
+	fr.dirty = false
+	return nil
+}
+
+func (f *File) touch(fr *frame) {
+	if f.head == fr {
+		return
+	}
+	f.unlink(fr)
+	f.pushFront(fr)
+}
+
+func (f *File) pushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = f.head
+	if f.head != nil {
+		f.head.prev = fr
+	}
+	f.head = fr
+	if f.tail == nil {
+		f.tail = fr
+	}
+}
+
+func (f *File) unlink(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		f.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		f.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+}

@@ -1,0 +1,340 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestMemStorageAllocateFreeReuse(t *testing.T) {
+	st := NewMemStorage(64)
+	a, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == InvalidPage || b == InvalidPage {
+		t.Fatalf("bad ids %d %d", a, b)
+	}
+	if st.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", st.NumPages())
+	}
+	if err := st.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("free list not reused: got %d want %d", c, a)
+	}
+	if err := st.Free(PageID(999)); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("Free(bogus) = %v, want ErrPageNotFound", err)
+	}
+	if err := st.ReadPage(PageID(999), make([]byte, 64)); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("ReadPage(bogus) = %v, want ErrPageNotFound", err)
+	}
+	if err := st.WritePage(PageID(999), make([]byte, 64)); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("WritePage(bogus) = %v, want ErrPageNotFound", err)
+	}
+}
+
+func TestFileReadWriteRoundTrip(t *testing.T) {
+	f := New(128, 4)
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 128)
+	copy(data, "hello page")
+	if err := f.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	if err := f.Write(id, []byte("short")); err == nil {
+		t.Error("want error for short write")
+	}
+}
+
+func TestFileWriteBackOnEviction(t *testing.T) {
+	f := New(64, 2)
+	ids := make([]PageID, 4)
+	for i := range ids {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		p := make([]byte, 64)
+		p[0] = byte(i + 1)
+		if err := f.Write(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Buffer holds 2 pages; the first two must have been evicted + written
+	// back. Reading them again must return the stored contents.
+	for i, id := range ids {
+		got, err := f.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Errorf("page %d: got %d want %d", id, got[0], i+1)
+		}
+	}
+	st := f.Stats()
+	if st.PhysicalWrites == 0 {
+		t.Error("expected write-backs")
+	}
+}
+
+func TestFileLRUCounters(t *testing.T) {
+	f := New(64, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := f.Allocate()
+		ids = append(ids, id)
+		if err := f.Write(id, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.ResetStats()
+	// Buffer now holds ids[1], ids[2] (LRU evicted ids[0] on the 3rd write).
+	if _, err := f.Read(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.BufferHits != 1 || st.PhysicalReads != 0 {
+		t.Errorf("warm read: %+v", st)
+	}
+	if _, err := f.Read(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	st = f.Stats()
+	if st.PhysicalReads != 1 {
+		t.Errorf("cold read: %+v", st)
+	}
+	if st.LogicalReads != 2 {
+		t.Errorf("logical reads: %+v", st)
+	}
+	// LRU order: reading ids[0] should have evicted ids[1] (LRU), not ids[2].
+	f.ResetStats()
+	if _, err := f.Read(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.BufferHits != 1 {
+		t.Errorf("ids[2] should still be buffered: %+v", st)
+	}
+	if _, err := f.Read(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.PhysicalReads != 1 {
+		t.Errorf("ids[1] should have been evicted: %+v", st)
+	}
+}
+
+func TestSetBufferPagesShrink(t *testing.T) {
+	f := New(64, 8)
+	for i := 0; i < 8; i++ {
+		id, _ := f.Allocate()
+		if err := f.Write(id, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.SetBufferPages(2); err != nil {
+		t.Fatal(err)
+	}
+	if f.BufferPages() != 2 {
+		t.Errorf("BufferPages = %d", f.BufferPages())
+	}
+	if got := len(f.frames); got > 2 {
+		t.Errorf("frames after shrink = %d", got)
+	}
+	if err := f.SetBufferPages(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.BufferPages() != 1 {
+		t.Errorf("BufferPages clamps to 1, got %d", f.BufferPages())
+	}
+}
+
+func TestDropBuffer(t *testing.T) {
+	f := New(64, 4)
+	id, _ := f.Allocate()
+	if err := f.Write(id, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DropBuffer(); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetStats()
+	got, err := f.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("dirty page lost on DropBuffer")
+	}
+	if st := f.Stats(); st.PhysicalReads != 1 {
+		t.Errorf("read after drop should be physical: %+v", st)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	st := NewMemStorage(64)
+	f := NewWithStorage(st, 4)
+	id, _ := f.Allocate()
+	data := bytes.Repeat([]byte{9}, 64)
+	if err := f.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet in storage (write-back buffer).
+	raw := make([]byte, 64)
+	if err := st.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] == 9 {
+		t.Error("write should be buffered, not in storage yet")
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != 9 {
+		t.Error("Flush did not reach storage")
+	}
+}
+
+func TestFreeDropsBufferedPage(t *testing.T) {
+	f := New(64, 4)
+	id, _ := f.Allocate()
+	if err := f.Write(id, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(id); !errors.Is(err, ErrPageNotFound) {
+		t.Errorf("Read(freed) = %v, want ErrPageNotFound", err)
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{LogicalReads: 10, PhysicalReads: 4, LogicalWrites: 2, PhysicalWrites: 1, BufferHits: 6}
+	b := Stats{LogicalReads: 3, PhysicalReads: 1, LogicalWrites: 1, PhysicalWrites: 0, BufferHits: 2}
+	diff := a.Sub(b)
+	if diff.LogicalReads != 7 || diff.PhysicalReads != 3 || diff.BufferHits != 4 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	sum := b.Add(diff)
+	if sum != a {
+		t.Errorf("Add(Sub) != original: %+v", sum)
+	}
+}
+
+// faultStorage fails reads/writes for a designated page, to verify errors
+// propagate instead of panicking.
+type faultStorage struct {
+	*MemStorage
+	bad PageID
+}
+
+var errInjected = errors.New("injected fault")
+
+func (fs *faultStorage) ReadPage(id PageID, dst []byte) error {
+	if id == fs.bad {
+		return fmt.Errorf("read %d: %w", id, errInjected)
+	}
+	return fs.MemStorage.ReadPage(id, dst)
+}
+
+func (fs *faultStorage) WritePage(id PageID, data []byte) error {
+	if id == fs.bad {
+		return fmt.Errorf("write %d: %w", id, errInjected)
+	}
+	return fs.MemStorage.WritePage(id, data)
+}
+
+func TestFaultPropagation(t *testing.T) {
+	st := &faultStorage{MemStorage: NewMemStorage(64)}
+	f := NewWithStorage(st, 1)
+	good, _ := f.Allocate()
+	bad, _ := f.Allocate()
+	st.bad = bad
+	if err := f.Write(good, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(bad); !errors.Is(err, errInjected) {
+		t.Errorf("Read(bad) = %v, want injected fault", err)
+	}
+	// After a failed read the frame must not linger in the buffer.
+	if _, ok := f.frames[bad]; ok {
+		t.Error("failed read left a stale frame")
+	}
+	// Dirty write-back failure surfaces on eviction.
+	if err := f.Write(bad, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DropBuffer(); !errors.Is(err, errInjected) {
+		t.Errorf("DropBuffer = %v, want injected fault", err)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := New(32, 3)
+	model := make(map[PageID][]byte)
+	var ids []PageID
+	for i := 0; i < 2000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 3 || len(ids) == 0:
+			id, err := f.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			model[id] = make([]byte, 32)
+		case op < 7:
+			id := ids[rng.Intn(len(ids))]
+			p := make([]byte, 32)
+			rng.Read(p)
+			if err := f.Write(id, p); err != nil {
+				t.Fatal(err)
+			}
+			model[id] = p
+		default:
+			id := ids[rng.Intn(len(ids))]
+			got, err := f.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, model[id]) {
+				t.Fatalf("iter %d: page %d mismatch", i, id)
+			}
+		}
+	}
+	// Final full verification.
+	for _, id := range ids {
+		got, err := f.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, model[id]) {
+			t.Fatalf("final: page %d mismatch", id)
+		}
+	}
+}

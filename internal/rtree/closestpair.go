@@ -1,0 +1,157 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// PairNeighbor is one result of an incremental closest-pair search.
+type PairNeighbor struct {
+	A, B Item
+	Dist float64 // Euclidean mindist of the two rectangles (exact for points)
+}
+
+// cpSide is one half of a heap element: either a data item or a node.
+type cpSide struct {
+	rect   geom.Rect
+	isItem bool
+	item   Item
+	page   pagefile.PageID
+	level  uint16
+}
+
+type cpEntry struct {
+	dist float64
+	a, b cpSide
+}
+
+type cpHeap []cpEntry
+
+func (h cpHeap) Len() int { return len(h) }
+func (h cpHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	ii := h[i].a.isItem && h[i].b.isItem
+	jj := h[j].a.isItem && h[j].b.isItem
+	return ii && !jj
+}
+func (h cpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cpHeap) Push(x interface{}) { *h = append(*h, x.(cpEntry)) }
+func (h *cpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CPIterator enumerates pairs (a in ta, b in tb) in ascending order of
+// Euclidean distance — the incremental distance join of [HS98] specialised
+// to closest pairs, with the mindist pruning of [CMTV00]. The obstructed
+// closest-pair algorithms consume it without a predeclared k.
+type CPIterator struct {
+	ta, tb *Tree
+	h      cpHeap
+	err    error
+}
+
+// NewClosestPairIterator starts an incremental closest-pair search over the
+// two trees.
+func NewClosestPairIterator(ta, tb *Tree) (*CPIterator, error) {
+	it := &CPIterator{ta: ta, tb: tb}
+	ra, err := ta.readNode(ta.root)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := tb.readNode(tb.root)
+	if err != nil {
+		return nil, err
+	}
+	if len(ra.entries) == 0 || len(rb.entries) == 0 {
+		return it, nil // empty iterator
+	}
+	a := cpSide{rect: ra.mbr(), page: ta.root, level: ra.level}
+	b := cpSide{rect: rb.mbr(), page: tb.root, level: rb.level}
+	it.h = cpHeap{{dist: a.rect.MinDistRect(b.rect), a: a, b: b}}
+	return it, nil
+}
+
+// Next returns the next closest pair. ok is false when exhausted or on I/O
+// error (check Err).
+func (it *CPIterator) Next() (PairNeighbor, bool) {
+	for it.err == nil && len(it.h) > 0 {
+		e := heap.Pop(&it.h).(cpEntry)
+		if e.a.isItem && e.b.isItem {
+			return PairNeighbor{A: e.a.item, B: e.b.item, Dist: e.dist}, true
+		}
+		// Expand the non-item side with the higher level (ties: larger area).
+		expandA := false
+		switch {
+		case e.b.isItem:
+			expandA = true
+		case e.a.isItem:
+			expandA = false
+		case e.a.level != e.b.level:
+			expandA = e.a.level > e.b.level
+		default:
+			expandA = e.a.rect.Area() >= e.b.rect.Area()
+		}
+		if expandA {
+			if it.expand(it.ta, e.a, e.b, false); it.err != nil {
+				return PairNeighbor{}, false
+			}
+		} else {
+			if it.expand(it.tb, e.b, e.a, true); it.err != nil {
+				return PairNeighbor{}, false
+			}
+		}
+	}
+	return PairNeighbor{}, false
+}
+
+// expand reads the node side and pairs each of its entries with other.
+// When swapped is true, side belongs to tree tb (the B side of pairs).
+func (it *CPIterator) expand(t *Tree, side, other cpSide, swapped bool) {
+	n, err := t.readNode(side.page)
+	if err != nil {
+		it.err = err
+		return
+	}
+	for _, c := range n.entries {
+		var cs cpSide
+		if n.isLeaf() {
+			cs = cpSide{rect: c.rect, isItem: true, item: c.item()}
+		} else {
+			cs = cpSide{rect: c.rect, page: pagefile.PageID(c.ref), level: n.level - 1}
+		}
+		d := cs.rect.MinDistRect(other.rect)
+		if swapped {
+			heap.Push(&it.h, cpEntry{dist: d, a: other, b: cs})
+		} else {
+			heap.Push(&it.h, cpEntry{dist: d, a: cs, b: other})
+		}
+	}
+}
+
+// Err returns the first I/O error encountered, if any.
+func (it *CPIterator) Err() error { return it.err }
+
+// ClosestPairs returns the k closest pairs between the trees.
+func ClosestPairs(ta, tb *Tree, k int) ([]PairNeighbor, error) {
+	it, err := NewClosestPairIterator(ta, tb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PairNeighbor, 0, k)
+	for len(out) < k {
+		pr, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, pr)
+	}
+	return out, it.Err()
+}

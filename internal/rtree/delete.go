@@ -1,0 +1,102 @@
+package rtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// Delete removes the item with exactly the given rectangle and data id.
+// It reports whether an item was found. Underflowing nodes are dissolved and
+// their entries reinserted (the classic condense-tree step), so obstacle and
+// entity datasets can be updated in place — the motivation the paper gives
+// for building visibility graphs on-line rather than materializing them.
+func (t *Tree) Delete(r geom.Rect, data int64) (bool, error) {
+	t.pending = t.pending[:0]
+	for k := range t.reinsLvl {
+		delete(t.reinsLvl, k)
+	}
+	rootNode, err := t.readNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	found, err := t.deleteFrom(rootNode, r, data)
+	if err != nil || !found {
+		return found, err
+	}
+	t.size--
+	// Reinsert orphans from dissolved nodes. Mark every level as already
+	// reinserted so overflow during condensation splits instead of cascading
+	// further reinsertion.
+	for lvl := uint16(0); int(lvl) < t.height; lvl++ {
+		t.reinsLvl[lvl] = true
+	}
+	if err := t.drainPending(); err != nil {
+		return true, err
+	}
+	// Shrink the root while it is internal with a single child.
+	for t.height > 1 {
+		rootNode, err := t.readNode(t.root)
+		if err != nil {
+			return true, err
+		}
+		if len(rootNode.entries) != 1 || rootNode.isLeaf() {
+			break
+		}
+		child := pagefile.PageID(rootNode.entries[0].ref)
+		if err := t.pf.Free(t.root); err != nil {
+			return true, err
+		}
+		t.root = child
+		t.height--
+	}
+	return true, nil
+}
+
+// deleteFrom removes (r, data) from the subtree rooted at n, condensing
+// underflowing children. Modified nodes are written before returning.
+func (t *Tree) deleteFrom(n *node, r geom.Rect, data int64) (bool, error) {
+	if n.isLeaf() {
+		for i, e := range n.entries {
+			if e.ref == uint64(data) && rectsEqual(e.rect, r) {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true, t.writeNode(n)
+			}
+		}
+		return false, nil
+	}
+	for i := range n.entries {
+		if !n.entries[i].rect.ContainsRect(r) {
+			continue
+		}
+		child, err := t.readNode(pagefile.PageID(n.entries[i].ref))
+		if err != nil {
+			return false, err
+		}
+		found, err := t.deleteFrom(child, r, data)
+		if err != nil {
+			return false, err
+		}
+		if !found {
+			continue
+		}
+		if len(child.entries) < t.minE {
+			// Dissolve the child: queue its entries for reinsertion at
+			// their level and drop it from n.
+			for _, ce := range child.entries {
+				t.pending = append(t.pending, pendingInsert{e: ce, level: child.level})
+			}
+			if err := t.pf.Free(child.id); err != nil {
+				return false, err
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			n.entries[i].rect = child.mbr()
+		}
+		return true, t.writeNode(n)
+	}
+	return false, nil
+}
+
+func rectsEqual(a, b geom.Rect) bool {
+	return a.MinX == b.MinX && a.MinY == b.MinY && a.MaxX == b.MaxX && a.MaxY == b.MaxY
+}

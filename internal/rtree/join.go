@@ -1,0 +1,110 @@
+package rtree
+
+import (
+	"sort"
+
+	"repro/internal/pagefile"
+)
+
+// JoinDistance performs the e-distance join of [BKS93]: it reports every
+// pair of items (a from ta, b from tb) whose rectangles are within Euclidean
+// distance e of each other, by traversing the two trees synchronously and
+// following only entry pairs with mindist <= e. Within each node pair the
+// candidate entries are matched with a plane sweep along x, as in the
+// original algorithm. The callback returns false to stop early.
+func JoinDistance(ta, tb *Tree, e float64, fn func(a, b Item) bool) error {
+	_, err := joinNodes(ta, tb, ta.root, tb.root, e, fn)
+	return err
+}
+
+type sweepEntry struct {
+	ent  entry
+	from int // 0 = left tree, 1 = right tree
+}
+
+func joinNodes(ta, tb *Tree, pa, pb pagefile.PageID, e float64, fn func(a, b Item) bool) (bool, error) {
+	na, err := ta.readNode(pa)
+	if err != nil {
+		return false, err
+	}
+	nb, err := tb.readNode(pb)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case na.level > nb.level:
+		// Descend the deeper tree only.
+		for _, ea := range na.entries {
+			if ea.rect.MinDistRect(nb.mbr()) > e {
+				continue
+			}
+			cont, err := joinNodes(ta, tb, pagefile.PageID(ea.ref), pb, e, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	case nb.level > na.level:
+		for _, eb := range nb.entries {
+			if eb.rect.MinDistRect(na.mbr()) > e {
+				continue
+			}
+			cont, err := joinNodes(ta, tb, pa, pagefile.PageID(eb.ref), e, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	// Equal levels: sweep both entry lists along x.
+	pairs := sweepPairs(na.entries, nb.entries, e)
+	if na.isLeaf() {
+		for _, pr := range pairs {
+			if !fn(pr[0].item(), pr[1].item()) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, pr := range pairs {
+		cont, err := joinNodes(ta, tb, pagefile.PageID(pr[0].ref), pagefile.PageID(pr[1].ref), e, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// sweepPairs returns the entry pairs (a, b) with mindist(a, b) <= e using a
+// forward plane sweep over the union of both entry lists sorted by MinX.
+func sweepPairs(as, bs []entry, e float64) [][2]entry {
+	all := make([]sweepEntry, 0, len(as)+len(bs))
+	for _, a := range as {
+		all = append(all, sweepEntry{ent: a, from: 0})
+	}
+	for _, b := range bs {
+		all = append(all, sweepEntry{ent: b, from: 1})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].ent.rect.MinX < all[j].ent.rect.MinX
+	})
+	var out [][2]entry
+	for i, s := range all {
+		limit := s.ent.rect.MaxX + e
+		for j := i + 1; j < len(all) && all[j].ent.rect.MinX <= limit; j++ {
+			o := all[j]
+			if o.from == s.from {
+				continue
+			}
+			if s.ent.rect.MinDistRect(o.ent.rect) > e {
+				continue
+			}
+			if s.from == 0 {
+				out = append(out, [2]entry{s.ent, o.ent})
+			} else {
+				out = append(out, [2]entry{o.ent, s.ent})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// Neighbor is one result of an incremental nearest-neighbor search.
+type Neighbor struct {
+	Item Item
+	Dist float64 // Euclidean distance from the query point (mindist for rectangles)
+}
+
+type nnEntry struct {
+	dist   float64
+	isItem bool
+	item   Item            // valid when isItem
+	page   pagefile.PageID // valid when !isItem
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	// Report items before expanding equally distant nodes.
+	return h[i].isItem && !h[j].isItem
+}
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NNIterator reports the items of a tree in ascending order of Euclidean
+// distance from a query point — the best-first incremental algorithm of
+// [HS99]. It is optimal (it reads only the pages any correct algorithm must
+// read) and supports retrieval without a predeclared k, which the obstructed
+// NN/closest-pair algorithms rely on to shrink their search bound on the fly.
+type NNIterator struct {
+	t   *Tree
+	q   geom.Point
+	h   nnHeap
+	err error
+}
+
+// NearestIterator starts an incremental nearest-neighbor search around q.
+func (t *Tree) NearestIterator(q geom.Point) *NNIterator {
+	it := &NNIterator{t: t, q: q}
+	it.h = nnHeap{{dist: 0, page: t.root}}
+	return it
+}
+
+// Next returns the next closest item. ok is false when the tree is exhausted
+// or an I/O error occurred (check Err).
+func (it *NNIterator) Next() (Neighbor, bool) {
+	for it.err == nil && len(it.h) > 0 {
+		e := heap.Pop(&it.h).(nnEntry)
+		if e.isItem {
+			return Neighbor{Item: e.item, Dist: e.dist}, true
+		}
+		n, err := it.t.readNode(e.page)
+		if err != nil {
+			it.err = err
+			return Neighbor{}, false
+		}
+		for _, c := range n.entries {
+			d := c.rect.MinDist(it.q)
+			if n.isLeaf() {
+				heap.Push(&it.h, nnEntry{dist: d, isItem: true, item: c.item()})
+			} else {
+				heap.Push(&it.h, nnEntry{dist: d, page: pagefile.PageID(c.ref)})
+			}
+		}
+	}
+	return Neighbor{}, false
+}
+
+// Err returns the first I/O error encountered, if any.
+func (it *NNIterator) Err() error { return it.err }
+
+// NearestK returns the k items closest to q (fewer when the tree is small).
+func (t *Tree) NearestK(q geom.Point, k int) ([]Neighbor, error) {
+	it := t.NearestIterator(q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, nb)
+	}
+	return out, it.Err()
+}

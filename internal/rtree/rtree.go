@@ -1,0 +1,293 @@
+// Package rtree implements a disk-resident R*-tree [BKSS90] over the
+// simulated page file of package pagefile. Every node occupies exactly one
+// page and all node accesses go through the file's LRU buffer, so the
+// PhysicalReads counter of the page file reproduces the "page accesses"
+// metric of the paper's experiments.
+//
+// Beyond insertion and deletion the package provides the Euclidean query
+// algorithms the paper builds on:
+//
+//   - window and circular range search (Section 2.1),
+//   - best-first incremental nearest neighbors [HS99],
+//   - the e-distance R-tree join [BKS93], and
+//   - incremental closest pairs [HS98, CMTV00].
+//
+// Trees are built either by repeated R* insertion or by STR/Hilbert bulk
+// loading.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// Item is a data entry: a bounding rectangle (a degenerate rectangle for
+// points) plus an opaque identifier resolving to the caller's object.
+type Item struct {
+	Rect geom.Rect
+	Data int64
+}
+
+// PointItem returns the Item for a point datum.
+func PointItem(p geom.Point, data int64) Item {
+	return Item{Rect: geom.PointRect(p), Data: data}
+}
+
+// Options configures a tree.
+type Options struct {
+	// PageSize is the on-disk node size in bytes (default 4096, as in the
+	// paper's experiments).
+	PageSize int
+	// BufferPages is the initial LRU buffer capacity in pages (default 64).
+	// Callers typically resize it to 10% of the tree after loading, per the
+	// paper's setup, via Tree.PageFile().SetBufferPages.
+	BufferPages int
+	// MinFillFraction is the minimum node occupancy m/M (default 0.4, the
+	// R* recommendation).
+	MinFillFraction float64
+	// ReinsertFraction is the share of entries removed on forced reinsert
+	// (default 0.3, the R* recommendation).
+	ReinsertFraction float64
+	// Storage optionally overrides the page backend (default in-memory).
+	Storage pagefile.Storage
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.BufferPages <= 0 {
+		o.BufferPages = 64
+	}
+	if o.MinFillFraction <= 0 || o.MinFillFraction > 0.5 {
+		o.MinFillFraction = 0.4
+	}
+	if o.ReinsertFraction <= 0 || o.ReinsertFraction >= 1 {
+		o.ReinsertFraction = 0.3
+	}
+	return o
+}
+
+const (
+	nodeHeaderSize = 4  // level uint16 + count uint16
+	entrySize      = 40 // 4 float64 coordinates + 8-byte reference
+)
+
+// entry is one slot of a node: an MBR plus either a child page (internal
+// nodes) or a data id (leaves).
+type entry struct {
+	rect geom.Rect
+	ref  uint64
+}
+
+func (e entry) item() Item { return Item{Rect: e.rect, Data: int64(e.ref)} }
+
+// node is the in-memory image of one page.
+type node struct {
+	id      pagefile.PageID
+	level   uint16 // 0 = leaf
+	entries []entry
+}
+
+func (n *node) isLeaf() bool { return n.level == 0 }
+
+func (n *node) mbr() geom.Rect {
+	r := geom.EmptyRect()
+	for _, e := range n.entries {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Tree is a disk-resident R*-tree. It is not safe for concurrent use.
+type Tree struct {
+	pf       *pagefile.File
+	opts     Options
+	root     pagefile.PageID
+	height   int // number of levels; 1 = root is a leaf
+	size     int // number of data items
+	maxE     int
+	minE     int
+	pending  []pendingInsert // forced-reinsert / condense work queue
+	reinsLvl map[uint16]bool // levels already reinserted during this insert
+}
+
+type pendingInsert struct {
+	e     entry
+	level uint16
+}
+
+// New returns an empty tree.
+func New(opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	st := opts.Storage
+	if st == nil {
+		st = pagefile.NewMemStorage(opts.PageSize)
+	}
+	if st.PageSize() != opts.PageSize {
+		return nil, fmt.Errorf("rtree: storage page size %d != option %d", st.PageSize(), opts.PageSize)
+	}
+	maxE := (opts.PageSize - nodeHeaderSize) / entrySize
+	if maxE < 4 {
+		return nil, fmt.Errorf("rtree: page size %d too small (fanout %d < 4)", opts.PageSize, maxE)
+	}
+	minE := int(float64(maxE) * opts.MinFillFraction)
+	if minE < 1 {
+		minE = 1
+	}
+	t := &Tree{
+		pf:       pagefile.NewWithStorage(st, opts.BufferPages),
+		opts:     opts,
+		height:   1,
+		maxE:     maxE,
+		minE:     minE,
+		reinsLvl: make(map[uint16]bool),
+	}
+	rootNode := &node{level: 0}
+	var err error
+	rootNode.id, err = t.pf.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(rootNode); err != nil {
+		return nil, err
+	}
+	t.root = rootNode.id
+	return t, nil
+}
+
+// Len returns the number of data items in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Capacity returns the per-node entry capacity (the fanout M).
+func (t *Tree) Capacity() int { return t.maxE }
+
+// MinEntries returns the minimum node occupancy m.
+func (t *Tree) MinEntries() int { return t.minE }
+
+// PageFile exposes the underlying page file, for I/O statistics and buffer
+// sizing.
+func (t *Tree) PageFile() *pagefile.File { return t.pf }
+
+// Bounds returns the MBR of all data in the tree (empty for an empty tree).
+func (t *Tree) Bounds() (geom.Rect, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	return n.mbr(), nil
+}
+
+// readNode deserializes the node stored on page id.
+func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
+	p, err := t.pf.Read(id)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: read node %d: %w", id, err)
+	}
+	level := binary.LittleEndian.Uint16(p[0:2])
+	count := int(binary.LittleEndian.Uint16(p[2:4]))
+	if count < 0 || nodeHeaderSize+count*entrySize > len(p) {
+		return nil, fmt.Errorf("rtree: corrupt node %d: count %d", id, count)
+	}
+	n := &node{id: id, level: level, entries: make([]entry, count)}
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		n.entries[i] = entry{
+			rect: geom.Rect{
+				MinX: f64(p[off:]), MinY: f64(p[off+8:]),
+				MaxX: f64(p[off+16:]), MaxY: f64(p[off+24:]),
+			},
+			ref: binary.LittleEndian.Uint64(p[off+32:]),
+		}
+		off += entrySize
+	}
+	return n, nil
+}
+
+// writeNode serializes n onto its page.
+func (t *Tree) writeNode(n *node) error {
+	if len(n.entries) > t.maxE {
+		return fmt.Errorf("rtree: node %d overflows page: %d > %d", n.id, len(n.entries), t.maxE)
+	}
+	p := make([]byte, t.pf.PageSize())
+	binary.LittleEndian.PutUint16(p[0:2], n.level)
+	binary.LittleEndian.PutUint16(p[2:4], uint16(len(n.entries)))
+	off := nodeHeaderSize
+	for _, e := range n.entries {
+		putF64(p[off:], e.rect.MinX)
+		putF64(p[off+8:], e.rect.MinY)
+		putF64(p[off+16:], e.rect.MaxX)
+		putF64(p[off+24:], e.rect.MaxY)
+		binary.LittleEndian.PutUint64(p[off+32:], e.ref)
+		off += entrySize
+	}
+	if err := t.pf.Write(n.id, p); err != nil {
+		return fmt.Errorf("rtree: write node %d: %w", n.id, err)
+	}
+	return nil
+}
+
+func f64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+// CheckInvariants walks the whole tree verifying structural invariants:
+// MBR containment, occupancy bounds, uniform leaf depth, and item count.
+// It is intended for tests.
+func (t *Tree) CheckInvariants() error {
+	count, err := t.check(t.root, t.height-1, true)
+	if err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rtree: item count %d != size %d", count, t.size)
+	}
+	return nil
+}
+
+func (t *Tree) check(id pagefile.PageID, wantLevel int, isRoot bool) (int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if int(n.level) != wantLevel {
+		return 0, fmt.Errorf("rtree: node %d level %d, want %d", id, n.level, wantLevel)
+	}
+	if !isRoot && len(n.entries) < t.minE {
+		return 0, fmt.Errorf("rtree: node %d underfull: %d < %d", id, len(n.entries), t.minE)
+	}
+	if len(n.entries) > t.maxE {
+		return 0, fmt.Errorf("rtree: node %d overfull: %d > %d", id, len(n.entries), t.maxE)
+	}
+	if isRoot && t.height > 1 && len(n.entries) < 2 {
+		return 0, fmt.Errorf("rtree: internal root has %d entries", len(n.entries))
+	}
+	if n.isLeaf() {
+		return len(n.entries), nil
+	}
+	total := 0
+	for _, e := range n.entries {
+		child, err := t.readNode(pagefile.PageID(e.ref))
+		if err != nil {
+			return 0, err
+		}
+		cm := child.mbr()
+		if !e.rect.ContainsRect(cm) {
+			return 0, fmt.Errorf("rtree: node %d entry MBR %v does not contain child %d MBR %v",
+				id, e.rect, e.ref, cm)
+		}
+		sub, err := t.check(pagefile.PageID(e.ref), wantLevel-1, false)
+		if err != nil {
+			return 0, err
+		}
+		total += sub
+	}
+	return total, nil
+}

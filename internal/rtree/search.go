@@ -1,0 +1,86 @@
+package rtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+// SearchRect reports every item whose rectangle intersects r, in no
+// particular order. The callback returns false to stop the search early.
+func (t *Tree) SearchRect(r geom.Rect, fn func(Item) bool) error {
+	_, err := t.searchRect(t.root, r, fn)
+	return err
+}
+
+func (t *Tree) searchRect(id pagefile.PageID, r geom.Rect, fn func(Item) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if e.rect.Intersects(r) {
+				if !fn(e.item()) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	// readNode copies entries out of the page buffer, so recursing while
+	// iterating is safe even though the buffer frame may be evicted.
+	for _, e := range n.entries {
+		if e.rect.Intersects(r) {
+			cont, err := t.searchRect(pagefile.PageID(e.ref), r, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// SearchCircle reports every item whose rectangle is within the given
+// Euclidean distance of center (mindist <= radius). For point items this is
+// the circular range query of Section 3; for rectangle items (obstacle MBRs)
+// it is the filter step, with polygon refinement left to the caller.
+func (t *Tree) SearchCircle(center geom.Point, radius float64, fn func(Item) bool) error {
+	_, err := t.searchCircle(t.root, center, radius, fn)
+	return err
+}
+
+func (t *Tree) searchCircle(id pagefile.PageID, c geom.Point, radius float64, fn func(Item) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if e.rect.MinDist(c) <= radius {
+				if !fn(e.item()) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	for _, e := range n.entries {
+		if e.rect.MinDist(c) <= radius {
+			cont, err := t.searchCircle(pagefile.PageID(e.ref), c, radius, fn)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// All returns every item in the tree (test and tooling helper).
+func (t *Tree) All() ([]Item, error) {
+	var items []Item
+	err := t.SearchRect(geom.R(-inf, -inf, inf, inf), func(it Item) bool {
+		items = append(items, it)
+		return true
+	})
+	return items, err
+}

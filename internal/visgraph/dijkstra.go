@@ -1,0 +1,105 @@
+package visgraph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pqItem is a priority-queue element for Dijkstra's algorithm [D59].
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Expand runs Dijkstra's algorithm from source, visiting settled nodes in
+// ascending distance order while the distance does not exceed bound. The
+// visit callback returns false to stop the expansion. This is the traversal
+// the OR algorithm uses to refine all candidates with a single expansion
+// around the query point (Fig 5 of the paper); duplicates in the queue are
+// skipped on dequeue, exactly as described there.
+func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist float64) bool) {
+	settled := make([]bool, len(g.nodes))
+	best := make([]float64, len(g.nodes))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	best[source] = 0
+	q := pq{{node: source, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if settled[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		if !visit(it.node, it.dist) {
+			return
+		}
+		for _, he := range g.nodes[it.node].adj {
+			if settled[he.To] {
+				continue
+			}
+			d := it.dist + he.Weight
+			if d <= bound && d < best[he.To] {
+				best[he.To] = d
+				heap.Push(&q, pqItem{node: he.To, dist: d})
+			}
+		}
+	}
+}
+
+// ShortestPath returns a shortest node sequence from source to target and
+// its length; the path is nil and the length +Inf when target is
+// unreachable.
+func (g *Graph) ShortestPath(source, target NodeID) ([]NodeID, float64) {
+	if source == target {
+		return []NodeID{source}, 0
+	}
+	parent := make(map[NodeID]NodeID, len(g.nodes))
+	settled := make(map[NodeID]bool, len(g.nodes))
+	dist := make(map[NodeID]float64, len(g.nodes))
+	q := pq{{node: source, dist: 0}}
+	parent[source] = Invalid
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if settled[it.node] {
+			continue
+		}
+		settled[it.node] = true
+		if it.node == target {
+			var path []NodeID
+			for n := target; n != Invalid; n = parent[n] {
+				path = append(path, n)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, it.dist
+		}
+		for _, he := range g.nodes[it.node].adj {
+			if settled[he.To] {
+				continue
+			}
+			d := it.dist + he.Weight
+			if old, ok := dist[he.To]; !ok || d < old {
+				dist[he.To] = d
+				parent[he.To] = it.node
+				heap.Push(&q, pqItem{node: he.To, dist: d})
+			}
+		}
+	}
+	return nil, math.Inf(1)
+}

@@ -1,0 +1,418 @@
+// Package visgraph implements local visibility graphs over polygonal
+// obstacles, the machinery behind obstructed-distance computation (Sections
+// 3-6 of the paper). Nodes are obstacle vertices plus query/entity points;
+// two nodes are connected iff they are mutually visible, i.e. the open
+// segment between them crosses no obstacle interior. Shortest paths in this
+// graph realize the obstructed distance [LW79].
+//
+// The graph is dynamic, mirroring the operations the paper defines:
+// AddObstacle incorporates a newly discovered obstacle (removing edges it
+// blocks), AddEntity/AddTerminal incorporate points, and DeleteEntity
+// removes a point once its distance computation is done.
+//
+// Visibility is computed either by the rotational plane sweep of [SS84]
+// (default, O(n log n) per node) or by a naive all-obstacles check that
+// serves as the reference oracle in tests.
+package visgraph
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// NodeID identifies a node of a Graph. IDs are stable across deletions.
+type NodeID int
+
+// Invalid is returned for absent nodes.
+const Invalid NodeID = -1
+
+// Kind classifies graph nodes.
+type Kind uint8
+
+const (
+	// VertexNode is an obstacle vertex.
+	VertexNode Kind = iota
+	// EntityNode is a data point; entity-entity edges are skipped because a
+	// shortest path never bends at an entity [LW79].
+	EntityNode
+	// TerminalNode is a query endpoint; it connects to every visible node,
+	// including entities.
+	TerminalNode
+)
+
+// Options configures a Graph.
+type Options struct {
+	// UseSweep selects the rotational plane-sweep visibility algorithm
+	// [SS84]; when false a naive check against every obstacle is used.
+	UseSweep bool
+}
+
+// HalfEdge is an adjacency record: the far node and the Euclidean length.
+type HalfEdge struct {
+	To     NodeID
+	Weight float64
+}
+
+type gnode struct {
+	pt    geom.Point
+	kind  Kind
+	poly  int // obstacle index, -1 for entity/terminal nodes
+	vert  int // vertex index within the polygon
+	alive bool
+	adj   []HalfEdge
+}
+
+// obstacleEdge is a polygon boundary edge, kept for the plane sweep.
+type obstacleEdge struct {
+	a, b NodeID
+	poly int
+}
+
+// Graph is a dynamic visibility graph. It is not safe for concurrent use.
+type Graph struct {
+	opts      Options
+	nodes     []gnode
+	obstacles []geom.Polygon
+	obstIDs   map[int64]int // external obstacle id -> obstacles index
+	edges     []obstacleEdge
+	// incident[i] lists indexes into edges touching node i (vertex nodes);
+	// indexed by NodeID, empty for entity/terminal nodes.
+	incident [][]int32
+	// edgeSet tracks undirected visibility edges for O(1) duplicate checks.
+	edgeSet  map[uint64]bool
+	numEdges int
+	free     []NodeID
+	// Scratch buffers reused across visibility sweeps (the graph is
+	// single-threaded); callers of visibleFrom must consume the returned
+	// slice before the next sweep.
+	sweepCands candSlice
+	sweepVis   []NodeID
+	stOpen     []int
+}
+
+// New returns an empty graph.
+func New(opts Options) *Graph {
+	return &Graph{
+		opts:    opts,
+		obstIDs: make(map[int64]int),
+		edgeSet: make(map[uint64]bool),
+	}
+}
+
+// Obstacle couples a polygon with the caller's identifier (typically the
+// R-tree data id), so incremental additions can be deduplicated.
+type Obstacle struct {
+	ID   int64
+	Poly geom.Polygon
+}
+
+// Build constructs the visibility graph of a static obstacle set in one
+// batch: all vertices become nodes first, then a single visibility pass runs
+// per vertex — the O(n^2 log n) construction the paper uses for local graphs
+// (Section 3). Further obstacles and points can still be added dynamically.
+func Build(opts Options, obstacles []Obstacle) *Graph {
+	g := New(opts)
+	var ids []NodeID
+	for _, ob := range obstacles {
+		if _, ok := g.obstIDs[ob.ID]; ok {
+			continue
+		}
+		pi := len(g.obstacles)
+		g.obstacles = append(g.obstacles, ob.Poly)
+		g.obstIDs[ob.ID] = pi
+		n := ob.Poly.NumVertices()
+		vids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			vids[i] = g.newNode(ob.Poly.Vertex(i), VertexNode, pi, i)
+		}
+		g.growIncident()
+		for i := 0; i < n; i++ {
+			ei := int32(len(g.edges))
+			g.edges = append(g.edges, obstacleEdge{a: vids[i], b: vids[(i+1)%n], poly: pi})
+			g.incident[vids[i]] = append(g.incident[vids[i]], ei)
+			g.incident[vids[(i+1)%n]] = append(g.incident[vids[(i+1)%n]], ei)
+		}
+		ids = append(ids, vids...)
+	}
+	for _, u := range ids {
+		for _, v := range g.visibleFrom(g.nodes[u].pt, u, true) {
+			g.addEdge(u, v)
+		}
+	}
+	return g
+}
+
+// growIncident keeps the incident table aligned with the node table.
+func (g *Graph) growIncident() {
+	for len(g.incident) < len(g.nodes) {
+		g.incident = append(g.incident, nil)
+	}
+}
+
+func edgeKey(u, v NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int {
+	n := 0
+	for i := range g.nodes {
+		if g.nodes[i].alive {
+			n++
+		}
+	}
+	return n
+}
+
+// NumObstacles returns the number of obstacles incorporated so far.
+func (g *Graph) NumObstacles() int { return len(g.obstacles) }
+
+// NumEdges returns the number of undirected visibility edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// HasObstacle reports whether the obstacle with the external id is present.
+func (g *Graph) HasObstacle(id int64) bool {
+	_, ok := g.obstIDs[id]
+	return ok
+}
+
+// Point returns the location of a node.
+func (g *Graph) Point(n NodeID) geom.Point { return g.nodes[n].pt }
+
+// Neighbors returns the adjacency list of n; callers must not modify it.
+func (g *Graph) Neighbors(n NodeID) []HalfEdge { return g.nodes[n].adj }
+
+func (g *Graph) newNode(p geom.Point, kind Kind, poly, vert int) NodeID {
+	if len(g.free) > 0 {
+		id := g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+		g.nodes[id] = gnode{pt: p, kind: kind, poly: poly, vert: vert, alive: true}
+		return id
+	}
+	g.nodes = append(g.nodes, gnode{pt: p, kind: kind, poly: poly, vert: vert, alive: true})
+	return NodeID(len(g.nodes) - 1)
+}
+
+func (g *Graph) addEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	k := edgeKey(u, v)
+	if g.edgeSet[k] {
+		return
+	}
+	g.edgeSet[k] = true
+	w := g.nodes[u].pt.Dist(g.nodes[v].pt)
+	g.nodes[u].adj = append(g.nodes[u].adj, HalfEdge{To: v, Weight: w})
+	g.nodes[v].adj = append(g.nodes[v].adj, HalfEdge{To: u, Weight: w})
+	g.numEdges++
+}
+
+func (g *Graph) removeEdge(u, v NodeID) {
+	k := edgeKey(u, v)
+	if !g.edgeSet[k] {
+		return
+	}
+	delete(g.edgeSet, k)
+	for i, he := range g.nodes[u].adj {
+		if he.To == v {
+			g.nodes[u].adj = append(g.nodes[u].adj[:i], g.nodes[u].adj[i+1:]...)
+			break
+		}
+	}
+	for i, he := range g.nodes[v].adj {
+		if he.To == u {
+			g.nodes[v].adj = append(g.nodes[v].adj[:i], g.nodes[v].adj[i+1:]...)
+			break
+		}
+	}
+	g.numEdges--
+}
+
+// AddObstacle incorporates an obstacle: it removes existing edges that cross
+// the polygon's interior, adds the polygon's vertices as nodes, and connects
+// them to every node they see (the add_obstacle operation of Section 4).
+// Obstacles are identified by an external id so repeated additions are
+// no-ops; it reports whether the obstacle was new.
+func (g *Graph) AddObstacle(id int64, poly geom.Polygon) bool {
+	return g.AddObstacles([]Obstacle{{ID: id, Poly: poly}}) == 1
+}
+
+// AddObstacles incorporates a batch of obstacles, returning how many were
+// new. The iterative range enlargement of the obstructed-distance
+// computation (Fig 8) discovers obstacles in batches; adding them together
+// removes blocked edges in a single pass over the graph instead of one scan
+// per obstacle.
+func (g *Graph) AddObstacles(batch []Obstacle) int {
+	fresh := batch[:0:0]
+	for _, ob := range batch {
+		if _, ok := g.obstIDs[ob.ID]; !ok {
+			fresh = append(fresh, ob)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	// Remove existing edges blocked by any new polygon (one pass, bounding
+	// boxes first).
+	bounds := make([]geom.Rect, len(fresh))
+	for i, ob := range fresh {
+		bounds[i] = ob.Poly.Bounds()
+	}
+	for u := range g.nodes {
+		un := &g.nodes[u]
+		if !un.alive {
+			continue
+		}
+	adjLoop:
+		for i := 0; i < len(un.adj); {
+			v := un.adj[i].To
+			if NodeID(u) < v {
+				sb := geom.Seg(un.pt, g.nodes[v].pt).Bounds()
+				for oi := range fresh {
+					if bounds[oi].Intersects(sb) && fresh[oi].Poly.BlocksSegment(un.pt, g.nodes[v].pt) {
+						g.removeEdge(NodeID(u), v)
+						continue adjLoop // adj shifted; re-check index i
+					}
+				}
+			}
+			i++
+		}
+	}
+	// Create vertex nodes and boundary edge records for all new polygons.
+	var ids []NodeID
+	for _, ob := range fresh {
+		pi := len(g.obstacles)
+		g.obstacles = append(g.obstacles, ob.Poly)
+		g.obstIDs[ob.ID] = pi
+		n := ob.Poly.NumVertices()
+		vids := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			vids[i] = g.newNode(ob.Poly.Vertex(i), VertexNode, pi, i)
+		}
+		g.growIncident()
+		for i := 0; i < n; i++ {
+			ei := int32(len(g.edges))
+			g.edges = append(g.edges, obstacleEdge{a: vids[i], b: vids[(i+1)%n], poly: pi})
+			g.incident[vids[i]] = append(g.incident[vids[i]], ei)
+			g.incident[vids[(i+1)%n]] = append(g.incident[vids[(i+1)%n]], ei)
+		}
+		ids = append(ids, vids...)
+	}
+	// Connect each new vertex to its visible nodes.
+	for _, u := range ids {
+		for _, v := range g.visibleFrom(g.nodes[u].pt, u, true) {
+			g.addEdge(u, v)
+		}
+	}
+	return len(fresh)
+}
+
+// AddEntity adds a data point, connecting it to visible obstacle vertices
+// and terminals but not to other entities (a shortest path never bends at an
+// entity, so entity-entity edges cannot change any distance).
+func (g *Graph) AddEntity(p geom.Point) NodeID {
+	id := g.newNode(p, EntityNode, -1, -1)
+	for _, v := range g.visibleFrom(p, id, false) {
+		g.addEdge(id, v)
+	}
+	return id
+}
+
+// AddTerminal adds a query endpoint, connecting it to every visible node
+// including entities (paths start or end here, so direct edges matter).
+func (g *Graph) AddTerminal(p geom.Point) NodeID {
+	id := g.newNode(p, TerminalNode, -1, -1)
+	for _, v := range g.visibleFrom(p, id, true) {
+		g.addEdge(id, v)
+	}
+	return id
+}
+
+// DeleteEntity removes an entity or terminal node and its incident edges
+// (the delete_entity operation of Section 4). Obstacle vertices cannot be
+// deleted.
+func (g *Graph) DeleteEntity(id NodeID) {
+	n := &g.nodes[id]
+	if !n.alive || n.kind == VertexNode {
+		return
+	}
+	for _, he := range n.adj {
+		other := &g.nodes[he.To]
+		for i, back := range other.adj {
+			if back.To == id {
+				other.adj = append(other.adj[:i], other.adj[i+1:]...)
+				break
+			}
+		}
+		delete(g.edgeSet, edgeKey(id, he.To))
+		g.numEdges--
+	}
+	n.adj = nil
+	n.alive = false
+	g.free = append(g.free, id)
+}
+
+// visibleFrom returns the live nodes visible from p. self (may be Invalid)
+// is excluded. When includeEntities is false, entity nodes are not reported
+// (terminals always are).
+func (g *Graph) visibleFrom(p geom.Point, self NodeID, includeEntities bool) []NodeID {
+	if g.opts.UseSweep {
+		return g.sweepVisible(p, self, includeEntities)
+	}
+	return g.naiveVisible(p, self, includeEntities)
+}
+
+// naiveVisible checks every candidate against every obstacle.
+func (g *Graph) naiveVisible(p geom.Point, self NodeID, includeEntities bool) []NodeID {
+	var out []NodeID
+	for i := range g.nodes {
+		id := NodeID(i)
+		n := &g.nodes[i]
+		if !n.alive || id == self {
+			continue
+		}
+		if !includeEntities && n.kind == EntityNode {
+			continue
+		}
+		if g.Visible(p, n.pt) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Visible reports whether the open segment ab crosses no obstacle interior.
+func (g *Graph) Visible(a, b geom.Point) bool {
+	sb := geom.Seg(a, b).Bounds().Expand(geom.Eps)
+	for i := range g.obstacles {
+		if !g.obstacles[i].Bounds().Intersects(sb) {
+			continue
+		}
+		if g.obstacles[i].BlocksSegment(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// ObstructedDist returns the shortest obstructed distance between two nodes
+// (+Inf when disconnected).
+func (g *Graph) ObstructedDist(from, to NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	dist := math.Inf(1)
+	g.Expand(from, math.Inf(1), func(n NodeID, d float64) bool {
+		if n == to {
+			dist = d
+			return false
+		}
+		return true
+	})
+	return dist
+}

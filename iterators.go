@@ -1,0 +1,73 @@
+package obstacles
+
+import "repro/internal/core"
+
+// NearestIterator reports entities in ascending order of obstructed distance
+// without a predeclared k — the incremental ONN variant. Useful for complex
+// predicates ("closest restaurant that is open") where the qualifying rank
+// is unknown in advance.
+type NearestIterator struct {
+	inner *core.NNIterator
+}
+
+// NearestIterator starts an incremental nearest-neighbor search on the
+// dataset around q.
+func (db *Database) NearestIterator(dataset string, q Point) (*NearestIterator, error) {
+	ps, err := db.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	return &NearestIterator{inner: db.engine.NearestIterator(ps, q)}, nil
+}
+
+// Next returns the next entity by obstructed distance; ok is false when the
+// dataset is exhausted or an error occurred (check Err).
+func (it *NearestIterator) Next() (Neighbor, bool) {
+	r, ok := it.inner.Next()
+	if !ok {
+		return Neighbor{}, false
+	}
+	return Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}, true
+}
+
+// Err returns the first error encountered, if any.
+func (it *NearestIterator) Err() error { return it.inner.Err() }
+
+// ClosestPairIterator reports pairs in ascending order of obstructed
+// distance without a predeclared k — the iOCP algorithm (Fig 12 of the
+// paper). Useful for browsing pairs or for constrained closest-pair queries
+// ("closest city/factory pair where the city has over 1M residents").
+type ClosestPairIterator struct {
+	inner *core.CPIterator
+}
+
+// ClosestPairIterator starts an incremental closest-pair search between the
+// two datasets.
+func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPairIterator, error) {
+	s, err := db.dataset(dataset1)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.dataset(dataset2)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := db.engine.ClosestPairIterator(s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &ClosestPairIterator{inner: inner}, nil
+}
+
+// Next returns the next pair by obstructed distance; ok is false when the
+// pairs are exhausted or an error occurred (check Err).
+func (it *ClosestPairIterator) Next() (Pair, bool) {
+	p, ok := it.inner.Next()
+	if !ok {
+		return Pair{}, false
+	}
+	return Pair{ID1: p.SID, ID2: p.TID, Distance: p.Dist}, true
+}
+
+// Err returns the first error encountered, if any.
+func (it *ClosestPairIterator) Err() error { return it.inner.Err() }

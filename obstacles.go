@@ -1,0 +1,312 @@
+package obstacles
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pagefile"
+	"repro/internal/rtree"
+)
+
+// Options configures a Database.
+type Options struct {
+	// PageSize is the R-tree node/page size in bytes (default 4096, the
+	// paper's setting; 8192 reproduces the paper's fanout of ~204 with
+	// 8-byte coordinates).
+	PageSize int
+	// BufferFraction sizes each tree's LRU buffer as a fraction of its
+	// pages (default 0.10, the paper's setting).
+	BufferFraction float64
+	// NaiveVisibility disables the rotational plane-sweep [SS84] in favor
+	// of a naive per-pair visibility check; slower, but useful as a
+	// cross-check and for heavily overlapping obstacle sets.
+	NaiveVisibility bool
+	// InsertLoad builds trees by repeated R* insertion instead of STR bulk
+	// loading; slower to build, exercise for dynamic workloads.
+	InsertLoad bool
+}
+
+// DefaultOptions returns the configuration used in the paper's experiments.
+func DefaultOptions() Options {
+	return Options{PageSize: pagefile.DefaultPageSize, BufferFraction: 0.10}
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = pagefile.DefaultPageSize
+	}
+	if o.BufferFraction <= 0 || o.BufferFraction > 1 {
+		o.BufferFraction = 0.10
+	}
+	return o
+}
+
+func (o Options) treeOptions() rtree.Options {
+	return rtree.Options{PageSize: o.PageSize}
+}
+
+// Neighbor is one entity returned by a range or nearest-neighbor query.
+type Neighbor struct {
+	// ID is the entity's index in the dataset it was added with.
+	ID int64
+	// Point is the entity's location.
+	Point Point
+	// Distance is the obstructed distance from the query point.
+	Distance float64
+}
+
+// Pair is one pair returned by a join or closest-pair query.
+type Pair struct {
+	// ID1 and ID2 index the first and second dataset of the query.
+	ID1, ID2 int64
+	// Distance is the obstructed distance between the two entities.
+	Distance float64
+}
+
+// Unreachable is the distance reported when no obstacle-avoiding path
+// exists (an entity sealed off by obstacles).
+var Unreachable = math.Inf(1)
+
+// TreeStats reports page-level I/O counters of one R-tree.
+type TreeStats struct {
+	// PageAccesses counts reads that missed the LRU buffer — the metric the
+	// paper's experiments plot.
+	PageAccesses uint64
+	// LogicalReads counts all node reads, including buffer hits.
+	LogicalReads uint64
+	// BufferHits counts reads served by the buffer.
+	BufferHits uint64
+	// Pages is the current size of the tree in pages.
+	Pages int
+}
+
+// Database holds one obstacle set and any number of named point datasets,
+// all indexed by R*-trees over simulated disk pages with LRU buffers. It is
+// not safe for concurrent use.
+type Database struct {
+	opts     Options
+	engine   *core.Engine
+	obstSet  *core.ObstacleSet
+	datasets map[string]*core.PointSet
+}
+
+// NewDatabase builds a database over polygonal obstacles. Obstacles should
+// not overlap each other's interiors (touching is fine); see
+// Options.NaiveVisibility for heavily overlapping data.
+func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
+	opts = opts.withDefaults()
+	obstSet, err := core.NewObstacleSet(opts.treeOptions(), polys, !opts.InsertLoad)
+	if err != nil {
+		return nil, fmt.Errorf("obstacles: building obstacle index: %w", err)
+	}
+	sizeBuffer(obstSet.Tree(), opts.BufferFraction)
+	eng := core.NewEngine(obstSet, core.EngineOptions{UseSweep: !opts.NaiveVisibility})
+	return &Database{
+		opts:     opts,
+		engine:   eng,
+		obstSet:  obstSet,
+		datasets: make(map[string]*core.PointSet),
+	}, nil
+}
+
+// NewDatabaseFromRects builds a database with rectangular obstacles, the
+// shape of the paper's street-MBR evaluation dataset.
+func NewDatabaseFromRects(rects []Rect, opts Options) (*Database, error) {
+	polys := make([]Polygon, len(rects))
+	for i, r := range rects {
+		if r.IsEmpty() {
+			return nil, fmt.Errorf("obstacles: obstacle %d is empty", i)
+		}
+		polys[i] = RectPolygon(r)
+	}
+	return NewDatabase(polys, opts)
+}
+
+func sizeBuffer(t *rtree.Tree, fraction float64) {
+	pages := int(math.Ceil(float64(t.PageFile().NumPages()) * fraction))
+	if pages < 1 {
+		pages = 1
+	}
+	// SetBufferPages only errors on write-back failures, impossible while
+	// shrinking a read-only tree's clean buffer.
+	_ = t.PageFile().SetBufferPages(pages)
+}
+
+// AddDataset indexes a named point dataset. Entity i gets ID int64(i).
+func (db *Database) AddDataset(name string, pts []Point) error {
+	if _, ok := db.datasets[name]; ok {
+		return fmt.Errorf("obstacles: dataset %q already exists", name)
+	}
+	ps, err := core.NewPointSet(db.opts.treeOptions(), pts, !db.opts.InsertLoad)
+	if err != nil {
+		return fmt.Errorf("obstacles: building dataset %q: %w", name, err)
+	}
+	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	db.datasets[name] = ps
+	return nil
+}
+
+// Datasets returns the names of the datasets added so far, sorted.
+func (db *Database) Datasets() []string {
+	names := make([]string, 0, len(db.datasets))
+	for n := range db.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumObstacles returns the obstacle count.
+func (db *Database) NumObstacles() int { return db.obstSet.Len() }
+
+// DatasetLen returns the number of entities in a dataset (0 if absent).
+func (db *Database) DatasetLen(name string) int {
+	if ps, ok := db.datasets[name]; ok {
+		return ps.Len()
+	}
+	return 0
+}
+
+func (db *Database) dataset(name string) (*core.PointSet, error) {
+	ps, ok := db.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("obstacles: unknown dataset %q", name)
+	}
+	return ps, nil
+}
+
+// Range returns all entities of the dataset within obstructed distance
+// radius of q, sorted by distance (the OR algorithm of the paper).
+func (db *Database) Range(dataset string, q Point, radius float64) ([]Neighbor, error) {
+	ps, err := db.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.engine.Range(ps, q, radius)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(res), nil
+}
+
+// NearestNeighbors returns the k entities of the dataset with the smallest
+// obstructed distance from q, sorted by it (the ONN algorithm).
+func (db *Database) NearestNeighbors(dataset string, q Point, k int) ([]Neighbor, error) {
+	ps, err := db.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.engine.NearestNeighbors(ps, q, k)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(res), nil
+}
+
+// DistanceJoin returns all pairs (s, t) from the two datasets within
+// obstructed distance dist of each other, sorted by distance (the ODJ
+// algorithm).
+func (db *Database) DistanceJoin(dataset1, dataset2 string, dist float64) ([]Pair, error) {
+	s, err := db.dataset(dataset1)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.dataset(dataset2)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.engine.DistanceJoin(s, t, dist)
+	if err != nil {
+		return nil, err
+	}
+	return toPairs(res), nil
+}
+
+// ClosestPairs returns the k pairs from the two datasets with the smallest
+// obstructed distance, sorted by it (the OCP algorithm).
+func (db *Database) ClosestPairs(dataset1, dataset2 string, k int) ([]Pair, error) {
+	s, err := db.dataset(dataset1)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.dataset(dataset2)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := db.engine.ClosestPairs(s, t, k)
+	if err != nil {
+		return nil, err
+	}
+	return toPairs(res), nil
+}
+
+// ObstructedDistance returns the length of the shortest obstacle-avoiding
+// path from a to b (Unreachable when none exists).
+func (db *Database) ObstructedDistance(a, b Point) (float64, error) {
+	return db.engine.ObstructedDistance(a, b)
+}
+
+// ObstructedPath returns a shortest obstacle-avoiding route from a to b as
+// a sequence of waypoints (a first, b last, bending only at obstacle
+// corners) and its total length. The path is nil and the length Unreachable
+// when no route exists.
+func (db *Database) ObstructedPath(a, b Point) ([]Point, float64, error) {
+	return db.engine.ObstructedPath(a, b)
+}
+
+// InsideObstacle reports whether p lies strictly inside an obstacle. Such
+// points can reach nothing: queries from them return no results and their
+// distances are Unreachable.
+func (db *Database) InsideObstacle(p Point) (bool, error) {
+	return db.engine.InsideObstacle(p)
+}
+
+// ObstacleTreeStats returns the I/O counters of the obstacle R-tree.
+func (db *Database) ObstacleTreeStats() TreeStats {
+	return treeStats(db.obstSet.Tree())
+}
+
+// DatasetTreeStats returns the I/O counters of a dataset's R-tree.
+func (db *Database) DatasetTreeStats(name string) (TreeStats, error) {
+	ps, err := db.dataset(name)
+	if err != nil {
+		return TreeStats{}, err
+	}
+	return treeStats(ps.Tree()), nil
+}
+
+// ResetStats zeroes all I/O counters (buffers stay warm).
+func (db *Database) ResetStats() {
+	db.obstSet.Tree().PageFile().ResetStats()
+	for _, ps := range db.datasets {
+		ps.Tree().PageFile().ResetStats()
+	}
+}
+
+func treeStats(t *rtree.Tree) TreeStats {
+	st := t.PageFile().Stats()
+	return TreeStats{
+		PageAccesses: st.PhysicalReads,
+		LogicalReads: st.LogicalReads,
+		BufferHits:   st.BufferHits,
+		Pages:        t.PageFile().NumPages(),
+	}
+}
+
+func toNeighbors(rs []core.Result) []Neighbor {
+	out := make([]Neighbor, len(rs))
+	for i, r := range rs {
+		out[i] = Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}
+	}
+	return out
+}
+
+func toPairs(ps []core.JoinPair) []Pair {
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{ID1: p.SID, ID2: p.TID, Distance: p.Dist}
+	}
+	return out
+}

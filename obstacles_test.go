@@ -1,0 +1,407 @@
+package obstacles
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cityDB builds a small deterministic scene: a 3x3 block of square
+// "buildings" with streets between them, and a few labeled points.
+func cityDB(t *testing.T, opts Options) *Database {
+	t.Helper()
+	var rects []Rect
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x := 10 + float64(i)*30
+			y := 10 + float64(j)*30
+			rects = append(rects, R(x, y, x+20, y+20))
+		}
+	}
+	db, err := NewDatabaseFromRects(rects, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	if db.NumObstacles() != 9 {
+		t.Fatalf("NumObstacles = %d", db.NumObstacles())
+	}
+	pts := []Point{Pt(5, 5), Pt(45, 5), Pt(95, 95), Pt(5, 95), Pt(45, 45)}
+	if err := db.AddDataset("shops", pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDataset("shops", pts); err == nil {
+		t.Error("duplicate dataset accepted")
+	}
+	if got := db.DatasetLen("shops"); got != len(pts) {
+		t.Errorf("DatasetLen = %d", got)
+	}
+	if got := db.DatasetLen("nope"); got != 0 {
+		t.Errorf("absent DatasetLen = %d", got)
+	}
+	if names := db.Datasets(); len(names) != 1 || names[0] != "shops" {
+		t.Errorf("Datasets = %v", names)
+	}
+	if _, err := db.Range("nope", Pt(0, 0), 5); err == nil {
+		t.Error("query on unknown dataset should fail")
+	}
+}
+
+func TestObstructedDistancePublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	// Corridor path between two buildings: straight line along the street.
+	d, err := db.ObstructedDistance(Pt(5, 20), Pt(5, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-60) > 1e-9 {
+		t.Errorf("street-line distance = %v, want 60", d)
+	}
+	// Across a building: must detour around it.
+	d, err = db.ObstructedDistance(Pt(5, 20), Pt(35, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := 30.0
+	if d <= direct {
+		t.Errorf("blocked distance %v should exceed direct %v", d, direct)
+	}
+}
+
+func TestRangeAndNNPublic(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		opts := DefaultOptions()
+		opts.NaiveVisibility = naive
+		db := cityDB(t, opts)
+		pts := []Point{Pt(5, 5), Pt(45, 5), Pt(95, 95), Pt(5, 95), Pt(45, 45)}
+		if err := db.AddDataset("shops", pts); err != nil {
+			t.Fatal(err)
+		}
+		q := Pt(5, 5)
+		nbs, err := db.Range("shops", q, 45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nbs) == 0 || nbs[0].ID != 0 || nbs[0].Distance != 0 {
+			t.Fatalf("naive=%v: self not first in range: %v", naive, nbs)
+		}
+		for i := 1; i < len(nbs); i++ {
+			if nbs[i].Distance < nbs[i-1].Distance {
+				t.Error("range results unsorted")
+			}
+		}
+		nn, err := db.NearestNeighbors("shops", q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nn) != 3 || nn[0].ID != 0 {
+			t.Fatalf("naive=%v: NN = %v", naive, nn)
+		}
+		// Lower bound property on every reported distance.
+		for _, nb := range nn {
+			if nb.Distance < q.Dist(nb.Point)-1e-9 {
+				t.Errorf("dO < dE for %v", nb)
+			}
+		}
+	}
+}
+
+func TestJoinAndClosestPairsPublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	homes := []Point{Pt(5, 5), Pt(35, 5), Pt(65, 5)}
+	cafes := []Point{Pt(5, 35), Pt(95, 95)}
+	if err := db.AddDataset("homes", homes); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDataset("cafes", cafes); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := db.DistanceJoin("homes", "cafes", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.Distance > 40 {
+			t.Errorf("join pair exceeds distance: %v", p)
+		}
+		if p.Distance < homes[p.ID1].Dist(cafes[p.ID2])-1e-9 {
+			t.Errorf("join pair below Euclidean: %v", p)
+		}
+	}
+	cps, err := db.ClosestPairs("homes", "cafes", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 2 || cps[0].Distance > cps[1].Distance {
+		t.Fatalf("closest pairs wrong: %v", cps)
+	}
+	// The overall closest pair must be home(0,(5,5)) - cafe(0,(5,35)):
+	// straight along the street, distance 30.
+	if cps[0].ID1 != 0 || cps[0].ID2 != 0 || math.Abs(cps[0].Distance-30) > 1e-9 {
+		t.Errorf("top pair = %+v, want home0-cafe0 at 30", cps[0])
+	}
+}
+
+func TestIteratorsPublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	pts := []Point{Pt(5, 5), Pt(45, 5), Pt(95, 95), Pt(5, 95), Pt(45, 45)}
+	if err := db.AddDataset("shops", pts); err != nil {
+		t.Fatal(err)
+	}
+	it, err := db.NearestIterator("shops", Pt(50, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, prev := 0, -1.0
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		if nb.Distance < prev {
+			t.Error("iterator not ascending")
+		}
+		prev = nb.Distance
+		count++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if count != len(pts) {
+		t.Errorf("iterator count = %d", count)
+	}
+
+	if err := db.AddDataset("depots", []Point{Pt(95, 5), Pt(5, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	cpIt, err := db.ClosestPairIterator("shops", "depots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, prev = 0, -1.0
+	for {
+		p, ok := cpIt.Next()
+		if !ok {
+			break
+		}
+		if p.Distance < prev {
+			t.Error("pair iterator not ascending")
+		}
+		prev = p.Distance
+		count++
+	}
+	if cpIt.Err() != nil {
+		t.Fatal(cpIt.Err())
+	}
+	if count != len(pts)*2 {
+		t.Errorf("pair iterator count = %d, want %d", count, len(pts)*2)
+	}
+}
+
+func TestStatsPublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	if err := db.AddDataset("shops", []Point{Pt(5, 5), Pt(95, 95)}); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	// (35, 35) is a street crossing; a point inside a building would be
+	// rejected before touching the dataset tree.
+	if _, err := db.NearestNeighbors("shops", Pt(35, 35), 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := db.DatasetTreeStats("shops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LogicalReads == 0 {
+		t.Error("no dataset tree reads recorded")
+	}
+	os := db.ObstacleTreeStats()
+	if os.LogicalReads == 0 {
+		t.Error("no obstacle tree reads recorded")
+	}
+	if os.Pages == 0 || ds.Pages == 0 {
+		t.Error("page counts missing")
+	}
+	db.ResetStats()
+	if db.ObstacleTreeStats().LogicalReads != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if _, err := db.DatasetTreeStats("nope"); err == nil {
+		t.Error("stats for unknown dataset should fail")
+	}
+}
+
+func TestUnreachablePublic(t *testing.T) {
+	// Sealed courtyard: overlapping walls.
+	rects := []Rect{
+		R(0, 0, 50, 10), R(0, 40, 50, 50), R(0, 0, 10, 50), R(40, 0, 50, 50),
+	}
+	opts := DefaultOptions()
+	opts.NaiveVisibility = true // overlapping obstacles
+	db, err := NewDatabaseFromRects(rects, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.ObstructedDistance(Pt(25, 25), Pt(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) || d != Unreachable {
+		t.Errorf("sealed distance = %v, want Unreachable", d)
+	}
+}
+
+func TestNewDatabaseValidation(t *testing.T) {
+	if _, err := NewDatabaseFromRects([]Rect{{MinX: 1, MaxX: 0}}, DefaultOptions()); err == nil {
+		t.Error("empty rect accepted")
+	}
+	// Empty obstacle set is fine: plain Euclidean behaviour.
+	db, err := NewDatabaseFromRects(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddDataset("p", []Point{Pt(0, 0), Pt(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.ObstructedDistance(Pt(0, 0), Pt(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-5) > 1e-9 {
+		t.Errorf("no-obstacle distance = %v", d)
+	}
+}
+
+func TestInsertLoadOption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.InsertLoad = true
+	db := cityDB(t, opts)
+	if err := db.AddDataset("p", []Point{Pt(5, 5), Pt(95, 95), Pt(5, 95)}); err != nil {
+		t.Fatal(err)
+	}
+	nn, err := db.NearestNeighbors("p", Pt(6, 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 1 || nn[0].ID != 0 {
+		t.Errorf("NN with insert-loaded trees = %v", nn)
+	}
+}
+
+func TestObstructedPathPublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	// From the SW corner to east of the first building: the route must bend
+	// around building corners and match the reported distance.
+	a, b := Pt(5, 20), Pt(35, 20)
+	path, dist, err := db.ObstructedPath(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := db.ObstructedDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist-d2) > 1e-9 {
+		t.Fatalf("path length %v != distance %v", dist, d2)
+	}
+	if len(path) < 3 {
+		t.Fatalf("expected a bending route, got %v", path)
+	}
+	if path[0] != a || path[len(path)-1] != b {
+		t.Fatalf("route endpoints wrong: %v", path)
+	}
+	sum := 0.0
+	for i := 1; i < len(path); i++ {
+		sum += path[i-1].Dist(path[i])
+	}
+	if math.Abs(sum-dist) > 1e-9 {
+		t.Fatalf("polyline %v != %v", sum, dist)
+	}
+	// Unreachable route.
+	opts := DefaultOptions()
+	opts.NaiveVisibility = true
+	sealed, err := NewDatabaseFromRects([]Rect{
+		R(0, 0, 50, 10), R(0, 40, 50, 50), R(0, 0, 10, 50), R(40, 0, 50, 50),
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, dist, err = sealed.ObstructedPath(Pt(25, 25), Pt(100, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != nil || dist != Unreachable {
+		t.Fatalf("sealed route: %v %v", path, dist)
+	}
+}
+
+func TestInsideObstaclePublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	if in, err := db.InsideObstacle(Pt(20, 20)); err != nil || !in {
+		t.Errorf("building interior: %v %v", in, err)
+	}
+	if in, err := db.InsideObstacle(Pt(35, 35)); err != nil || in {
+		t.Errorf("street crossing: %v %v", in, err)
+	}
+	if in, err := db.InsideObstacle(Pt(10, 20)); err != nil || in {
+		t.Errorf("boundary point should not count as inside: %v %v", in, err)
+	}
+}
+
+func TestLargeScaleSmoke(t *testing.T) {
+	// A moderately large end-to-end scene through the public API: the
+	// database holds thousands of obstacles/entities and all query types
+	// agree on basic invariants.
+	if testing.Short() {
+		t.Skip("large scene")
+	}
+	rng := rand.New(rand.NewSource(99))
+	var rects []Rect
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if rng.Intn(4) == 0 {
+				continue // leave gaps
+			}
+			x, y := float64(i)*25, float64(j)*25
+			rects = append(rects, R(x+3, y+3, x+22, y+22))
+		}
+	}
+	db, err := NewDatabaseFromRects(rects, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]Point, 3000)
+	for i := range pts {
+		r := rects[rng.Intn(len(rects))]
+		pts[i] = Pt(r.MinX, r.MinY+rng.Float64()*(r.MaxY-r.MinY))
+	}
+	if err := db.AddDataset("p", pts); err != nil {
+		t.Fatal(err)
+	}
+	q := Pt(500, 500)
+	nn, err := db.NearestNeighbors("p", q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 10 {
+		t.Fatalf("got %d NNs", len(nn))
+	}
+	rr, err := db.Range("p", q, nn[9].Distance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr) < 10 {
+		t.Fatalf("range(kth dist) returned %d < k", len(rr))
+	}
+	// kNN distances are a prefix of the range result distances.
+	for i := 0; i < 10; i++ {
+		if math.Abs(rr[i].Distance-nn[i].Distance) > 1e-9 {
+			t.Fatalf("rank %d: range %v vs knn %v", i, rr[i].Distance, nn[i].Distance)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package obstacles is a spatial query library for datasets with movement
+// obstructions, reproducing "Spatial Queries in the Presence of Obstacles"
+// (Zhang, Papadias, Mouratidis, Zhu — EDBT 2004).
+//
+// Given a set of polygonal obstacles and one or more point datasets — all
+// disk-resident and indexed by R*-trees — the library answers range, k
+// nearest neighbor, e-distance join and closest-pair queries under the
+// obstructed distance metric: the length of the shortest path connecting
+// two points without crossing any obstacle's interior. Euclidean R-tree
+// algorithms produce candidates (the Euclidean distance lower-bounds the
+// obstructed one) and local visibility graphs, built on-line from only the
+// obstacles relevant to each query, refine them.
+//
+// Quick start:
+//
+//	db, err := obstacles.NewDatabaseFromRects(streetMBRs, obstacles.DefaultOptions())
+//	...
+//	err = db.AddDataset("restaurants", restaurantPoints)
+//	...
+//	nns, err := db.NearestNeighbors("restaurants", obstacles.Pt(x, y), 5)
+//
+// See the examples directory for complete programs.
+package obstacles
+
+import (
+	"repro/internal/geom"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle (e.g. a street-segment MBR).
+type Rect = geom.Rect
+
+// Polygon is a simple polygon used as an obstacle.
+type Polygon = geom.Polygon
+
+// Pt returns the point (x, y).
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R returns the rectangle [minx, maxx] x [miny, maxy].
+func R(minx, miny, maxx, maxy float64) Rect { return geom.R(minx, miny, maxx, maxy) }
+
+// NewPolygon builds an obstacle polygon from its vertices (any orientation;
+// at least three, pairwise-distinct consecutive vertices).
+func NewPolygon(vertices []Point) (Polygon, error) { return geom.NewPolygon(vertices) }
+
+// RectPolygon converts a rectangle to a four-vertex obstacle polygon.
+func RectPolygon(r Rect) Polygon { return geom.RectPolygon(r) }
