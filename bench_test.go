@@ -12,9 +12,12 @@ package obstacles_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
+	obstacles "repro"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/expt"
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -404,6 +407,167 @@ func BenchmarkAblationBufferFraction(b *testing.B) {
 	// Restore the paper's setting for any benchmark that runs after.
 	if err := obstPF.SetBufferPages(int(0.1 * float64(total))); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkBatchDistances compares ONE multi-target BatchDistances call
+// against N independent ObstructedDistance calls — the primitive the
+// clustering subsystem rides on. Targets are the query's Euclidean kNNs,
+// the shape of a clustering ε-neighborhood refinement (local graphs;
+// universe-spanning target sets degenerate to a global visibility graph
+// either way). settled/op counts Dijkstra-settled visibility-graph nodes,
+// the refinement work the batch engine shares across targets.
+func BenchmarkBatchDistances(b *testing.B) {
+	lab := benchLab(b, benchObstacles)
+	P := entitySet(b, lab, 2000)
+	queries := lab.Queries()
+	// Larger target sets only widen the gap (per-pair cost grows linearly
+	// in n, the batch expansion sublinearly) but make the per-pair side of
+	// the benchmark take minutes per op, so the grid stops at 64.
+	for _, n := range []int{16, 64} {
+		// Per-query target sets: the n Euclidean-nearest entities.
+		targetSets := make([][]geom.Point, len(queries))
+		for qi, q := range queries {
+			nns, err := P.Tree().NearestK(q, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, nb := range nns {
+				targetSets[qi] = append(targetSets[qi], P.Point(nb.Item.Data))
+			}
+		}
+		for _, batch := range []bool{true, false} {
+			b.Run(fmt.Sprintf("n=%d/batch=%v", n, batch), func(b *testing.B) {
+				eng := core.NewEngine(lab.Engine().Obstacles(), core.DefaultEngineOptions())
+				base := eng.Metrics()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					targets := targetSets[i%len(queries)]
+					if batch {
+						if _, _, err := eng.BatchDistances(q, targets); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						for _, p := range targets {
+							if _, err := eng.ObstructedDistance(q, p); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+				b.StopTimer()
+				m := eng.Metrics()
+				b.ReportMetric(float64(m.SettledNodes-base.SettledNodes)/float64(b.N), "settled/op")
+				b.ReportMetric(float64(m.Builds-base.Builds)/float64(b.N), "builds/op")
+			})
+		}
+	}
+}
+
+// clusterBench builds a public Database over a generated street world with
+// one entity dataset, for the clustering benchmarks.
+func clusterBench(b *testing.B, nObst, nPts int) (*obstacles.Database, float64) {
+	b.Helper()
+	world := dataset.Generate(dataset.DefaultConfig(9, nObst))
+	db, err := obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := world.Entities(world.EntityRand(2), nPts)
+	if err := db.AddDataset("P", pts); err != nil {
+		b.Fatal(err)
+	}
+	return db, world.Universe()
+}
+
+// BenchmarkClusterDBSCAN measures obstructed-distance density clustering
+// end to end (Euclidean prefilter + batch ε-neighborhoods on cached
+// graphs).
+func BenchmarkClusterDBSCAN(b *testing.B) {
+	for _, nPts := range []int{100, 300} {
+		b.Run(fmt.Sprintf("pts=%d", nPts), func(b *testing.B) {
+			db, universe := clusterBench(b, 1000, nPts)
+			eps := clusterEps(universe, nPts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl, err := db.Cluster("P", obstacles.ClusterOptions{
+					Algorithm: obstacles.DBSCAN, Eps: eps, MinPts: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cl.NumClusters == 0 {
+					b.Fatal("no clusters found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterKMedoids measures PAM over the full obstructed-distance
+// matrix (one batch expansion per row). The matrix spans the whole
+// universe, so the obstacle count is kept moderate: its cost is dominated
+// by one near-global graph that the cache then reuses for every row.
+func BenchmarkClusterKMedoids(b *testing.B) {
+	for _, nPts := range []int{60, 120} {
+		b.Run(fmt.Sprintf("pts=%d", nPts), func(b *testing.B) {
+			db, _ := clusterBench(b, 500, nPts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl, err := db.Cluster("P", obstacles.ClusterOptions{
+					Algorithm: obstacles.KMedoids, K: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cl.NumClusters != 8 {
+					b.Fatalf("clusters = %d", cl.NumClusters)
+				}
+			}
+		})
+	}
+}
+
+// clusterEps scales the DBSCAN radius with point density so neighborhoods
+// keep a few members at every cardinality.
+func clusterEps(universe float64, nPts int) float64 {
+	return universe * 0.03 * math.Sqrt(300/float64(nPts))
+}
+
+// BenchmarkAblationGraphCacheDBSCAN compares density clustering with and
+// without the expanded-graph LRU. DBSCAN grows clusters point by point, so
+// consecutive ε-neighborhood sources sit inside each other's expanded
+// coverage — the locality the cache was built for. (Paper-style joins with
+// e far below the seed spacing get no reuse: disjoint disks share no
+// graph.)
+func BenchmarkAblationGraphCacheDBSCAN(b *testing.B) {
+	const nPts = 300
+	for _, cacheCap := range []int{-1, 8} {
+		b.Run(fmt.Sprintf("cache=%d", cacheCap), func(b *testing.B) {
+			world := dataset.Generate(dataset.DefaultConfig(9, 1000))
+			opts := obstacles.DefaultOptions()
+			opts.GraphCacheSize = cacheCap
+			db, err := obstacles.NewDatabase(world.Polys, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := db.AddDataset("P", world.Entities(world.EntityRand(2), nPts)); err != nil {
+				b.Fatal(err)
+			}
+			eps := clusterEps(world.Universe(), nPts)
+			basePages := db.ObstacleTreeStats().PageAccesses
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Cluster("P", obstacles.ClusterOptions{
+					Algorithm: obstacles.DBSCAN, Eps: eps, MinPts: 4,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.ObstacleTreeStats().PageAccesses-basePages)/float64(b.N), "obst-pages/op")
+		})
 	}
 }
 

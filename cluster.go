@@ -1,0 +1,173 @@
+package obstacles
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// ClusterAlgorithm selects the clustering method used by Database.Cluster.
+type ClusterAlgorithm int
+
+const (
+	// DBSCAN is density clustering: a point with at least MinPts points
+	// (itself included) within obstructed distance Eps is a core point;
+	// density-connected points share a cluster, the rest are noise.
+	DBSCAN ClusterAlgorithm = iota
+	// KMedoids partitions the dataset into K clusters around medoid
+	// entities (PAM), minimizing the sum of obstructed distances to them.
+	KMedoids
+)
+
+func (a ClusterAlgorithm) String() string {
+	switch a {
+	case DBSCAN:
+		return "dbscan"
+	case KMedoids:
+		return "kmedoids"
+	}
+	return fmt.Sprintf("ClusterAlgorithm(%d)", int(a))
+}
+
+// NoiseCluster is the Clustering.Assignments value for points in no
+// cluster: DBSCAN noise, or entities sealed off by obstacles from every
+// medoid. Their distance to anything useful is Unreachable, so no
+// clustering can claim them.
+const NoiseCluster = cluster.Noise
+
+// ClusterOptions configures Database.Cluster.
+type ClusterOptions struct {
+	// Algorithm picks DBSCAN (default) or KMedoids.
+	Algorithm ClusterAlgorithm
+	// Eps is the DBSCAN neighborhood radius, measured in obstructed
+	// distance. Required (> 0) for DBSCAN.
+	Eps float64
+	// MinPts is the DBSCAN core-point threshold, counting the point itself
+	// (default 4, a common planar-data setting).
+	MinPts int
+	// K is the KMedoids cluster count. Required (>= 1) for KMedoids.
+	// Entities sealed off from every other entity cannot serve as medoids
+	// (each would only serve itself), so fewer than K clusters may be
+	// produced when the dataset contains such entities.
+	K int
+	// MaxIterations caps the KMedoids swap rounds; 0 runs to convergence
+	// (each swap strictly improves the cost, so convergence is guaranteed).
+	MaxIterations int
+}
+
+// Clustering is the result of Database.Cluster.
+type Clustering struct {
+	// Assignments maps every entity id of the dataset (the index used by
+	// AddDataset) to a cluster id in [0, NumClusters), or NoiseCluster.
+	Assignments []int
+	// NumClusters is the number of clusters produced.
+	NumClusters int
+	// Medoids (KMedoids only) holds the entity id at the center of each
+	// cluster: cluster c is centered on entity Medoids[c]. Nil for DBSCAN.
+	Medoids []int
+	// Cost (KMedoids only) is the sum of obstructed distances from each
+	// assigned entity to its medoid.
+	Cost float64
+	// NoiseCount is the number of entities assigned NoiseCluster. Sealed-off
+	// entities (strictly inside an obstacle, or walled away from every
+	// other entity) always land here: under DBSCAN they are noise
+	// singletons, under KMedoids they are reported as noise whenever no
+	// medoid can reach them.
+	NoiseCount int
+}
+
+// engineOracle adapts the engine's batch-distance primitives to the
+// cluster.DistanceOracle / cluster.MatrixOracle / cluster.CandidateSource
+// interfaces, with ε-neighborhood candidates served by the dataset's
+// R-tree instead of a linear scan.
+type engineOracle struct {
+	eng *core.Engine
+	ps  *core.PointSet
+}
+
+func (o engineOracle) Distances(source geom.Point, targets []geom.Point) ([]float64, error) {
+	d, _, err := o.eng.BatchDistances(source, targets)
+	return d, err
+}
+
+func (o engineOracle) DistanceMatrix(pts []geom.Point) ([][]float64, error) {
+	m, _, err := o.eng.DistanceMatrix(pts)
+	return m, err
+}
+
+func (o engineOracle) EuclideanRange(i int, r float64) ([]int, error) {
+	var out []int
+	err := o.ps.Tree().SearchCircle(o.ps.Point(int64(i)), r, func(it rtree.Item) bool {
+		out = append(out, int(it.Data))
+		return true
+	})
+	return out, err
+}
+
+// Cluster groups the entities of a dataset by obstructed distance: entities
+// on opposite sides of an obstacle wall cluster apart even when they are
+// Euclidean-close. Neighborhoods and medoid assignments are computed with
+// the batch multi-source distance engine (one visibility-graph expansion
+// per source over cached graphs), not per-pair distance calls.
+func (db *Database) Cluster(dataset string, opts ClusterOptions) (*Clustering, error) {
+	ps, err := db.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, ps.Len())
+	for i := range pts {
+		pts[i] = ps.Point(int64(i))
+	}
+	oracle := engineOracle{eng: db.engine, ps: ps}
+	var res *cluster.Result
+	switch opts.Algorithm {
+	case DBSCAN:
+		if opts.Eps <= 0 {
+			return nil, fmt.Errorf("obstacles: DBSCAN needs Eps > 0, got %v", opts.Eps)
+		}
+		minPts := opts.MinPts
+		if minPts == 0 {
+			minPts = 4
+		}
+		res, err = cluster.DBSCAN(pts, oracle, opts.Eps, minPts)
+	case KMedoids:
+		if opts.K < 1 {
+			return nil, fmt.Errorf("obstacles: KMedoids needs K >= 1, got %d", opts.K)
+		}
+		res, err = cluster.KMedoids(pts, oracle, opts.K, opts.MaxIterations)
+	default:
+		return nil, fmt.Errorf("obstacles: unknown clustering algorithm %v", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obstacles: clustering %q: %w", dataset, err)
+	}
+	return &Clustering{
+		Assignments: res.Assignments,
+		NumClusters: res.NumClusters,
+		Medoids:     res.Medoids,
+		Cost:        res.Cost,
+		NoiseCount:  res.NoiseCount,
+	}, nil
+}
+
+// ObstructedDistances returns the obstructed distance from q to every
+// target, Unreachable for targets no obstacle-avoiding path can reach. One
+// shared visibility graph serves the whole batch (one Dijkstra expansion
+// per range-enlargement round), which is substantially cheaper than calling
+// ObstructedDistance once per target.
+func (db *Database) ObstructedDistances(q Point, targets []Point) ([]float64, error) {
+	d, _, err := db.engine.BatchDistances(q, targets)
+	return d, err
+}
+
+// DistanceMatrix returns the full symmetric obstructed-distance matrix of
+// pts (Unreachable off-diagonal entries for sealed-off pairs, zero on the
+// diagonal — by definition, even for a point strictly inside an obstacle,
+// where the pair APIs report Unreachable).
+func (db *Database) DistanceMatrix(pts []Point) ([][]float64, error) {
+	m, _, err := db.engine.DistanceMatrix(pts)
+	return m, err
+}

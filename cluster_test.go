@@ -1,0 +1,325 @@
+package obstacles
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/geom"
+	"repro/internal/visgraph"
+)
+
+// bruteOracle computes obstructed distances on a full visibility graph over
+// every obstacle (no R-tree, no candidate pruning, no batching) — the
+// reference the engine-backed clustering must reproduce exactly.
+type bruteOracle struct {
+	g *visgraph.Graph
+}
+
+func newBruteOracle(rects []Rect) *bruteOracle {
+	obs := make([]visgraph.Obstacle, len(rects))
+	for i, r := range rects {
+		obs[i] = visgraph.Obstacle{ID: int64(i), Poly: RectPolygon(r)}
+	}
+	return &bruteOracle{g: visgraph.Build(visgraph.Options{UseSweep: false}, obs)}
+}
+
+func (o *bruteOracle) Distances(source geom.Point, targets []geom.Point) ([]float64, error) {
+	out := make([]float64, len(targets))
+	ns := o.g.AddTerminal(source)
+	for i, p := range targets {
+		if p.Eq(source) {
+			continue
+		}
+		nt := o.g.AddTerminal(p)
+		out[i] = o.g.ObstructedDist(ns, nt)
+		o.g.DeleteEntity(nt)
+	}
+	o.g.DeleteEntity(ns)
+	return out, nil
+}
+
+// clusterScene builds a city-grid database plus a deterministic entity set
+// hugging the free space.
+func clusterScene(t *testing.T, seed int64, n int) (*Database, []Rect, []Point) {
+	t.Helper()
+	var rects []Rect
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			x, y := 10+float64(i)*30, 10+float64(j)*30
+			rects = append(rects, R(x, y, x+20, y+20))
+		}
+	}
+	db, err := NewDatabaseFromRects(rects, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pts []Point
+	for len(pts) < n {
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		inside, err := db.InsideObstacle(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inside {
+			pts = append(pts, p)
+		}
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	return db, rects, pts
+}
+
+// TestClusterMatchesBruteForceReference is the acceptance check: DBSCAN and
+// k-medoids through the batch engine must produce clusters identical to the
+// same algorithms run over brute-force obstructed distances.
+func TestClusterMatchesBruteForceReference(t *testing.T) {
+	for _, seed := range []int64{81, 82, 83} {
+		db, rects, pts := clusterScene(t, seed, 30)
+		brute := newBruteOracle(rects)
+		gpts := make([]geom.Point, len(pts))
+		copy(gpts, pts)
+
+		for _, eps := range []float64{15, 30, 60} {
+			got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: eps, MinPts: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cluster.DBSCAN(gpts, brute, eps, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+				t.Fatalf("seed %d eps %g: DBSCAN differs from brute force\ngot  %v\nwant %v",
+					seed, eps, got.Assignments, want.Assignments)
+			}
+		}
+		for _, k := range []int{2, 4} {
+			got, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cluster.KMedoids(gpts, brute, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Assignments, want.Assignments) ||
+				!reflect.DeepEqual(got.Medoids, want.Medoids) {
+				t.Fatalf("seed %d k %d: k-medoids differs from brute force\ngot  %v %v\nwant %v %v",
+					seed, k, got.Medoids, got.Assignments, want.Medoids, want.Assignments)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-6 {
+				t.Fatalf("seed %d k %d: cost %v vs brute %v", seed, k, got.Cost, want.Cost)
+			}
+		}
+	}
+}
+
+// TestClusterObstacleFreeMatchesEuclidean: with no obstacles the obstructed
+// metric degenerates to Euclidean, and so must the clusterings.
+func TestClusterObstacleFreeMatchesEuclidean(t *testing.T) {
+	db, err := NewDatabaseFromRects(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(84))
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	gpts := make([]geom.Point, len(pts))
+	copy(gpts, pts)
+
+	got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 12, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cluster.DBSCAN(gpts, cluster.Euclidean{}, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatalf("obstacle-free DBSCAN differs from Euclidean:\ngot  %v\nwant %v",
+			got.Assignments, want.Assignments)
+	}
+
+	gotK, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK, err := cluster.KMedoids(gpts, cluster.Euclidean{}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotK.Assignments, wantK.Assignments) ||
+		!reflect.DeepEqual(gotK.Medoids, wantK.Medoids) {
+		t.Fatalf("obstacle-free k-medoids differs from Euclidean:\ngot  %v %v\nwant %v %v",
+			gotK.Medoids, gotK.Assignments, wantK.Medoids, wantK.Assignments)
+	}
+}
+
+// TestClusterWallSplit: two Euclidean-close strips separated by a wall must
+// land in different obstructed clusters.
+func TestClusterWallSplit(t *testing.T) {
+	// A wall at x=50 with no gap inside the populated band.
+	db, err := NewDatabaseFromRects([]Rect{R(49, -10, 51, 110)}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(85))
+	var pts []Point
+	for i := 0; i < 12; i++ {
+		pts = append(pts, Pt(44+rng.Float64()*4, 40+rng.Float64()*20))
+	}
+	for i := 0; i < 12; i++ {
+		pts = append(pts, Pt(52+rng.Float64()*4, 40+rng.Float64()*20))
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	// Control: plain Euclidean density sees one blob.
+	gpts := make([]geom.Point, len(pts))
+	copy(gpts, pts)
+	eu, err := cluster.DBSCAN(gpts, cluster.Euclidean{}, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu.NumClusters != 1 {
+		t.Fatalf("euclidean control: %d clusters, want 1", eu.NumClusters)
+	}
+	// Obstructed: the wall forces a detour of 100+, far beyond eps.
+	got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 15, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClusters != 2 {
+		t.Fatalf("wall scene: %d clusters, want 2 (%v)", got.NumClusters, got.Assignments)
+	}
+	if got.Assignments[0] == got.Assignments[12] {
+		t.Fatalf("wall did not split clusters: %v", got.Assignments)
+	}
+	// k-medoids with k=2 must likewise put one medoid per side.
+	km, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides := map[bool]int{}
+	for _, md := range km.Medoids {
+		sides[pts[md].X < 50]++
+	}
+	if sides[true] != 1 || sides[false] != 1 {
+		t.Fatalf("medoids %v not split across the wall", km.Medoids)
+	}
+	if km.NoiseCount != 0 {
+		t.Fatalf("k=2 stranded %d points", km.NoiseCount)
+	}
+}
+
+// TestObstructedDistancesPublic: the batch API agrees with per-pair queries
+// and reports Unreachable for sealed targets.
+func TestObstructedDistancesPublic(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	q := Pt(5, 5)
+	targets := []Point{Pt(95, 95), Pt(5, 80), Pt(20, 20), q}
+	got, err := db.ObstructedDistances(q, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range targets {
+		want, err := db.ObstructedDistance(q, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := want == got[i] || math.Abs(want-got[i]) <= 1e-6 ||
+			(math.IsInf(want, 1) && math.IsInf(got[i], 1))
+		if !same {
+			t.Fatalf("target %d: batch %v, per-pair %v", i, got[i], want)
+		}
+	}
+	// Pt(20,20) is strictly inside the first building.
+	if !math.IsInf(got[2], 1) {
+		t.Fatalf("interior target distance = %v, want Unreachable", got[2])
+	}
+	if got[3] != 0 {
+		t.Fatalf("self distance = %v", got[3])
+	}
+	// DistanceMatrix is consistent with the batch call.
+	m, err := db.DistanceMatrix([]Point{q, Pt(95, 95), Pt(5, 80)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m[0][1]-got[0]) > 1e-6 || math.Abs(m[0][2]-got[1]) > 1e-6 {
+		t.Fatalf("matrix row %v disagrees with batch %v", m[0], got[:2])
+	}
+}
+
+// TestClusterSealedEntityIsNoise: an entity walled off from the rest of
+// the dataset becomes NoiseCluster under both algorithms — it neither
+// joins a DBSCAN cluster nor consumes a k-medoids cluster slot.
+func TestClusterSealedEntityIsNoise(t *testing.T) {
+	db, err := NewDatabaseFromRects([]Rect{
+		R(40, 40, 60, 45), R(40, 55, 60, 60), R(40, 40, 45, 60), R(55, 40, 60, 60),
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []Point{
+		Pt(50, 50), // sealed inside the walls
+		Pt(10, 10), Pt(12, 10), Pt(10, 12),
+		Pt(90, 90), Pt(92, 90), Pt(90, 92),
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	km, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Assignments[0] != NoiseCluster || km.NoiseCount != 1 {
+		t.Fatalf("sealed entity not noise under k-medoids: %+v", km)
+	}
+	for _, md := range km.Medoids {
+		if md == 0 {
+			t.Fatalf("sealed entity chosen as medoid: %v", km.Medoids)
+		}
+	}
+	if km.NumClusters != 2 {
+		t.Fatalf("k-medoids produced %d clusters, want 2", km.NumClusters)
+	}
+	dm, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 10, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Assignments[0] != NoiseCluster {
+		t.Fatalf("sealed entity not noise under DBSCAN: %v", dm.Assignments)
+	}
+	if dm.NumClusters != 2 {
+		t.Fatalf("DBSCAN produced %d clusters, want 2", dm.NumClusters)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	db := cityDB(t, DefaultOptions())
+	if err := db.AddDataset("P", []Point{Pt(1, 1), Pt(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Cluster("nope", ClusterOptions{Algorithm: DBSCAN, Eps: 5}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN}); err == nil {
+		t.Error("DBSCAN without Eps accepted")
+	}
+	if _, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids}); err == nil {
+		t.Error("KMedoids without K accepted")
+	}
+	if _, err := db.Cluster("P", ClusterOptions{Algorithm: ClusterAlgorithm(99), Eps: 5}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Districting: partition delivery stops into service districts that respect
+// the buildings between them. A courier depot serves a downtown grid; stops
+// on opposite sides of a city block can be meters apart in Euclidean terms
+// but a long walk around the block in practice, so districts are formed by
+// k-medoids over obstructed distances, and a density pass (DBSCAN) flags
+// stops too isolated to serve efficiently. Run with:
+//
+//	go run ./examples/districting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	obstacles "repro"
+)
+
+func main() {
+	// Downtown: a 5x4 grid of buildings, 30x20 each, on 12-unit streets,
+	// plus a river-like wall splitting the east side from the west.
+	var blocks []obstacles.Rect
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			x, y := 12+float64(i)*42, 12+float64(j)*32
+			blocks = append(blocks, obstacles.R(x, y, x+30, y+20))
+		}
+	}
+	// The wall runs north-south with a single gate near the top.
+	blocks = append(blocks,
+		obstacles.R(117, 0, 119, 100),
+		obstacles.R(117, 112, 119, 140),
+	)
+	db, err := obstacles.NewDatabaseFromRects(blocks, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Delivery stops hug the building fronts on both sides of the wall.
+	rng := rand.New(rand.NewSource(7))
+	var stops []obstacles.Point
+	for len(stops) < 60 {
+		p := obstacles.Pt(rng.Float64()*220, rng.Float64()*140)
+		inside, err := db.InsideObstacle(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !inside {
+			stops = append(stops, p)
+		}
+	}
+	if err := db.AddDataset("stops", stops); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four districts by walking distance: the wall forces an east/west
+	// split a Euclidean partition would not make.
+	cl, err := db.Cluster("stops", obstacles.ClusterOptions{
+		Algorithm: obstacles.KMedoids,
+		K:         4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d districts over %d stops (total walking cost %.0f):\n",
+		cl.NumClusters, len(stops), cl.Cost)
+	for c, md := range cl.Medoids {
+		size := 0
+		for _, a := range cl.Assignments {
+			if a == c {
+				size++
+			}
+		}
+		fmt.Printf("  district %d: %d stops, hub at stop #%d %v\n", c, size, md, stops[md])
+	}
+	if cl.NoiseCount > 0 {
+		fmt.Printf("  %d stops unreachable from every hub\n", cl.NoiseCount)
+	}
+
+	// How much the wall matters: compare each stop's walking distance to
+	// its hub against the straight-line distance.
+	worstStop, worstRatio := -1, 0.0
+	for i, a := range cl.Assignments {
+		if a < 0 {
+			continue
+		}
+		hub := stops[cl.Medoids[a]]
+		dO, err := db.ObstructedDistances(stops[i], []obstacles.Point{hub})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dE := stops[i].Dist(hub); dE > 0 && dO[0]/dE > worstRatio {
+			worstRatio, worstStop = dO[0]/dE, i
+		}
+	}
+	if worstStop >= 0 {
+		fmt.Printf("\nworst detour: stop #%d walks %.1fx its straight-line distance to the hub\n",
+			worstStop, worstRatio)
+	}
+
+	// Density view: stops without 3 others within walking distance 32
+	// (MinPts counts the stop itself) are flagged for consolidated routes.
+	dens, err := db.Cluster("stops", obstacles.ClusterOptions{
+		Algorithm: obstacles.DBSCAN,
+		Eps:       32,
+		MinPts:    4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndensity check (eps=32, minpts=4): %d dense zones, %d isolated stops\n",
+		dens.NumClusters, dens.NoiseCount)
+	for i, a := range dens.Assignments {
+		if a == obstacles.NoiseCluster {
+			fmt.Printf("  isolated: stop #%d %v\n", i, stops[i])
+		}
+	}
+}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/visgraph"
+)
+
+// This file implements the batch multi-source distance primitives: one
+// visibility graph and one Dijkstra expansion per enlargement round serve an
+// entire target set, instead of one graph build and one expansion per pair
+// as in ObstructedDistance. The iterative range enlargement is the
+// multi-target generalization of compute_obstructed_distance (Fig 8): a
+// target's provisional distance d is final once the graph incorporates every
+// obstacle within d of the source (any shorter path would stay inside that
+// disk), so the search radius grows to the largest unfinished provisional
+// distance until all targets settle or unreachability is proven.
+
+// BatchDistances computes the obstructed distance from source to every
+// target. Unreachable targets (sealed off, or strictly inside an obstacle)
+// get +Inf. When the engine's graph cache is enabled (EnableGraphCache) an
+// expanded graph state is reused across calls; otherwise a fresh local graph
+// is built, covering the largest Euclidean source-target distance as in
+// Fig 7.
+func (e *Engine) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
+	if e.cache != nil {
+		return e.cache.BatchDistances(source, targets)
+	}
+	var st Stats
+	dists, prep, err := e.prepBatch(source, targets, &st)
+	if err != nil || prep == nil {
+		countReachable(dists, &st)
+		return dists, st, err
+	}
+	r0 := prep.maxEuclid
+	obs, err := e.relevantObstacles(source, r0)
+	if err != nil {
+		return nil, st, err
+	}
+	g := visgraph.Build(e.graphOptions(), obs)
+	grow := func(radius float64) (bool, error) {
+		return e.addObstaclesWithin(g, source, radius)
+	}
+	if err := e.batchExpand(g, source, prep, r0, grow, &st); err != nil {
+		return nil, st, err
+	}
+	countReachable(dists, &st)
+	return dists, st, nil
+}
+
+func countReachable(dists []float64, st *Stats) {
+	for _, d := range dists {
+		if !math.IsInf(d, 1) {
+			st.Results++
+		}
+	}
+	st.FalseHits = st.Candidates - st.Results
+}
+
+// DistanceMatrix computes the full symmetric obstructed-distance matrix of
+// pts: out[i][j] = dO(pts[i], pts[j]), +Inf for unreachable pairs, 0 on the
+// diagonal. The diagonal is zero by definition — a point is at distance 0
+// from itself even when it lies strictly inside an obstacle, where the
+// pair APIs (ObstructedDistance, BatchDistances) report +Inf; such a
+// point's off-diagonal entries are all +Inf. One multi-target expansion
+// runs per source point (row i covers columns j > i; the lower triangle is
+// mirrored), against a small shared graph cache, instead of n(n-1)/2
+// independent pair computations.
+func (e *Engine) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
+	var st Stats
+	out := make([][]float64, len(pts))
+	for i := range out {
+		out[i] = make([]float64, len(pts))
+	}
+	// A matrix call spans the whole point extent, so its graphs grow toward
+	// global coverage; a call-local cache keeps those heavyweight graphs
+	// from being pinned in the engine's long-lived cache. With the engine
+	// cache disabled, the matrix runs uncached too (one graph per row).
+	batch := e.BatchDistances
+	if e.cache != nil {
+		batch = NewGraphCache(e, 4).BatchDistances
+	}
+	for i := 0; i < len(pts)-1; i++ {
+		dists, rst, err := batch(pts[i], pts[i+1:])
+		if err != nil {
+			return nil, st, err
+		}
+		accumulate(&st, rst)
+		for j, d := range dists {
+			out[i][i+1+j] = d
+			out[i+1+j][i] = d
+		}
+	}
+	st.FalseHits = st.Candidates - st.Results
+	return out, st, nil
+}
+
+func accumulate(st *Stats, rst Stats) {
+	st.Candidates += rst.Candidates
+	st.Results += rst.Results
+	st.DistComputations += rst.DistComputations
+	if rst.GraphNodes > st.GraphNodes {
+		st.GraphNodes, st.GraphEdges = rst.GraphNodes, rst.GraphEdges
+	}
+}
+
+// batchPrep holds the per-call working state shared by the one-shot and
+// cached batch paths.
+type batchPrep struct {
+	source  geom.Point
+	targets []geom.Point
+	dists   []float64 // result slice, pre-filled for trivial targets
+	// nodeIdx maps a representative graph node to the target indexes at its
+	// location (duplicate targets share one node).
+	nodeIdx map[visgraph.NodeID][]int
+	nodes   []visgraph.NodeID // all nodes added to the graph, for cleanup
+	final   []bool
+	// maxEuclid is the largest Euclidean source-target distance among
+	// non-trivial targets — the Fig 7 initial range.
+	maxEuclid float64
+	pending   int
+}
+
+// prepBatch resolves the trivial targets (coincident with the source, or
+// strictly inside an obstacle) and sizes the initial search range. It
+// returns a nil prep when no target needs graph work.
+func (e *Engine) prepBatch(source geom.Point, targets []geom.Point, st *Stats) ([]float64, *batchPrep, error) {
+	dists := make([]float64, len(targets))
+	st.Candidates = len(targets)
+	if len(targets) == 0 {
+		return dists, nil, nil
+	}
+	srcInside, err := e.InsideObstacle(source)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &batchPrep{
+		source:  source,
+		targets: targets,
+		dists:   dists,
+		final:   make([]bool, len(targets)),
+	}
+	for i, t := range targets {
+		if srcInside {
+			dists[i] = math.Inf(1)
+			p.final[i] = true
+			continue
+		}
+		if t.Eq(source) {
+			p.final[i] = true // dO(p, p) = 0
+			continue
+		}
+		inside, err := e.InsideObstacle(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		if inside {
+			dists[i] = math.Inf(1)
+			p.final[i] = true
+			continue
+		}
+		dists[i] = math.Inf(1) // provisional until settled
+		p.pending++
+		if de := source.Dist(t); de > p.maxEuclid {
+			p.maxEuclid = de
+		}
+	}
+	if p.pending == 0 {
+		return dists, nil, nil
+	}
+	return dists, p, nil
+}
+
+// attach adds the pending targets as entity nodes and the source as a
+// terminal, deduplicating coincident targets.
+func (p *batchPrep) attach(g *visgraph.Graph) visgraph.NodeID {
+	p.nodeIdx = make(map[visgraph.NodeID][]int, p.pending)
+	byPoint := make(map[geom.Point]visgraph.NodeID, p.pending)
+	for i, t := range p.targets {
+		if p.final[i] {
+			continue
+		}
+		n, ok := byPoint[t]
+		if !ok {
+			n = g.AddEntity(t)
+			byPoint[t] = n
+			p.nodes = append(p.nodes, n)
+		}
+		p.nodeIdx[n] = append(p.nodeIdx[n], i)
+	}
+	nq := g.AddTerminal(p.source)
+	p.nodes = append(p.nodes, nq)
+	return nq
+}
+
+// detach removes every node attach added, restoring the graph to an
+// obstacles-only state (used by the cache to keep entries reusable).
+func (p *batchPrep) detach(g *visgraph.Graph) {
+	for _, n := range p.nodes {
+		g.DeleteEntity(n)
+	}
+	p.nodes = p.nodes[:0]
+}
+
+// batchExpand runs the multi-target iterative range enlargement on g. The
+// graph must already incorporate every obstacle within searched of the
+// source; grow must extend that coverage to the given radius, reporting
+// whether any obstacle was new. Results land in prep.dists.
+func (e *Engine) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPrep, searched float64, grow func(radius float64) (bool, error), st *Stats) error {
+	cover, err := e.coverRadius(source)
+	if err != nil {
+		return err
+	}
+	nq := prep.attach(g)
+	defer prep.detach(g)
+	dists, final := prep.dists, prep.final
+	pending := prep.pending
+	for pending > 0 {
+		// One expansion settles a provisional distance for every pending
+		// target at once (Dijkstra settles in ascending distance order, so a
+		// settled target's distance is exact in the current graph).
+		st.DistComputations++
+		if n, m := g.NumNodes(), g.NumEdges(); n > st.GraphNodes {
+			st.GraphNodes, st.GraphEdges = n, m
+		}
+		for _, idxs := range prep.nodeIdx {
+			for _, i := range idxs {
+				if !final[i] {
+					dists[i] = math.Inf(1)
+				}
+			}
+		}
+		unsettled := pending
+		g.Expand(nq, math.Inf(1), func(n visgraph.NodeID, d float64) bool {
+			idxs, ok := prep.nodeIdx[n]
+			if !ok {
+				return true
+			}
+			hit := false
+			for _, i := range idxs {
+				if !final[i] {
+					dists[i] = d
+					unsettled--
+					hit = true
+				}
+			}
+			return !hit || unsettled > 0
+		})
+		// Finalize targets whose provisional distance the searched range
+		// already certifies, then pick the next enlargement radius.
+		maxOpen := 0.0
+		anyInf := false
+		for i := range dists {
+			if final[i] {
+				continue
+			}
+			switch d := dists[i]; {
+			case d <= searched:
+				final[i] = true
+				pending--
+			case math.IsInf(d, 1):
+				anyInf = true
+			case d > maxOpen:
+				maxOpen = d
+			}
+		}
+		for pending > 0 {
+			radius := maxOpen
+			if anyInf {
+				dbl := searched * 2
+				if dbl < geom.Eps {
+					dbl = 1
+				}
+				if dbl > cover {
+					dbl = cover
+				}
+				if dbl > radius {
+					radius = dbl
+				}
+			}
+			if radius <= searched {
+				// Only unreachable targets remain and the search already
+				// covers every obstacle: provably sealed off.
+				for i := range final {
+					if !final[i] {
+						final[i] = true
+						pending--
+					}
+				}
+				return nil
+			}
+			added, err := grow(radius)
+			if err != nil {
+				return err
+			}
+			searched = radius
+			if added {
+				break // distances may have changed; re-expand
+			}
+			// Fig 8 termination: the enlargement found no new obstacle, so
+			// finite provisional distances are final.
+			maxOpen = 0
+			for i := range dists {
+				if final[i] || math.IsInf(dists[i], 1) {
+					continue
+				}
+				final[i] = true
+				pending--
+			}
+			if !anyInf && pending > 0 {
+				return fmt.Errorf("core: batch enlargement stalled with %d targets pending", pending)
+			}
+			if pending == 0 {
+				return nil
+			}
+			if searched >= cover {
+				// Unreachable targets are final (+Inf already in dists).
+				for i := range final {
+					if !final[i] {
+						final[i] = true
+						pending--
+					}
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// localGraph returns a visibility graph incorporating every obstacle within
+// radius of center: a cached entry's graph when the engine's cache is
+// enabled (cached reports which; the caller must then delete every node it
+// adds once done), or a freshly built query-local graph.
+func (e *Engine) localGraph(center geom.Point, radius float64) (g *visgraph.Graph, cached bool, err error) {
+	if e.cache != nil {
+		en, _, err := e.cache.acquire(center, radius)
+		if err != nil {
+			return nil, false, err
+		}
+		return en.g, true, nil
+	}
+	obs, err := e.relevantObstacles(center, radius)
+	if err != nil {
+		return nil, false, err
+	}
+	return visgraph.Build(e.graphOptions(), obs), false, nil
+}
+
+// GraphCache is a small LRU of expanded visibility-graph states, keyed by
+// the disk of obstacle space each graph incorporates. Batch queries whose
+// initial range falls inside a cached disk reuse that graph (growing it in
+// place when the enlargement loop demands more), so workloads with spatial
+// locality — clustering neighborhoods, Hilbert-ordered join seeds — skip
+// most graph construction. Entity and terminal nodes are removed after each
+// query; cached graphs hold obstacle vertices only.
+type GraphCache struct {
+	e   *Engine
+	cap int
+	// entries are kept in recency order, most recent first.
+	entries []*cacheEntry
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	g *visgraph.Graph
+	// The graph incorporates every obstacle intersecting the disk
+	// (center, searched).
+	center   geom.Point
+	searched float64
+	// base is the radius the entry was built with; growth is capped at
+	// growLimit*base so a walk of spatially advancing queries cannot
+	// ratchet one entry into a permanently retained near-global graph.
+	base float64
+}
+
+// growLimit bounds how far an entry may expand beyond its original build
+// radius before queries stop reusing it and build a fresh local graph.
+const growLimit = 4
+
+// CacheStats counts graph-cache traffic.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// NewGraphCache returns a cache of at most capacity expanded graphs over e's
+// obstacle set.
+func NewGraphCache(e *Engine, capacity int) *GraphCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &GraphCache{e: e, cap: capacity}
+}
+
+// EnableGraphCache attaches a graph cache of the given capacity to the
+// engine: BatchDistances and DistanceJoin reuse expanded graph states across
+// calls. Capacity <= 0 detaches the cache.
+func (e *Engine) EnableGraphCache(capacity int) {
+	if capacity <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = NewGraphCache(e, capacity)
+}
+
+// GraphCacheStats returns the engine cache's traffic counters (zero when the
+// cache is disabled).
+func (e *Engine) GraphCacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats
+}
+
+// acquire returns a cached entry whose disk contains the disk
+// (source, r0), growing a nearby entry or building a fresh one if none does.
+// The second return is the radius around source the entry's graph is
+// guaranteed to cover.
+func (c *GraphCache) acquire(source geom.Point, r0 float64) (*cacheEntry, float64, error) {
+	best := -1
+	for i, en := range c.entries {
+		// Reuse only entries whose coverage already contains the source
+		// (growing a distant graph would pull in obstacles the query never
+		// needs) and whose grown radius stays within growLimit of the
+		// entry's original scale (so reuse never inflates a local graph
+		// into a global one).
+		d := en.center.Dist(source)
+		if d <= en.searched && d+r0 <= max(en.searched, growLimit*en.base) {
+			if best < 0 || d < c.entries[best].center.Dist(source) {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		en := c.entries[best]
+		copy(c.entries[1:best+1], c.entries[:best])
+		c.entries[0] = en
+		c.stats.Hits++
+		off := en.center.Dist(source)
+		if en.searched-off < r0 {
+			if err := en.grow(c.e, off+r0); err != nil {
+				return nil, 0, err
+			}
+		}
+		return en, en.searched - off, nil
+	}
+	c.stats.Misses++
+	obs, err := c.e.relevantObstacles(source, r0)
+	if err != nil {
+		return nil, 0, err
+	}
+	en := &cacheEntry{g: visgraph.Build(c.e.graphOptions(), obs), center: source, searched: r0, base: r0}
+	c.entries = append([]*cacheEntry{en}, c.entries...)
+	if len(c.entries) > c.cap {
+		c.entries = c.entries[:c.cap]
+		c.stats.Evictions++
+	}
+	return en, r0, nil
+}
+
+// grow extends the entry's coverage disk to the given radius around its own
+// center (enlargements requested around other points are translated to the
+// entry center so coverage stays a single disk).
+func (en *cacheEntry) grow(e *Engine, radius float64) error {
+	if radius <= en.searched {
+		return nil
+	}
+	if _, err := e.addObstaclesWithin(en.g, en.center, radius); err != nil {
+		return err
+	}
+	en.searched = radius
+	return nil
+}
+
+// BatchDistances is Engine.BatchDistances against the cache's graphs.
+func (c *GraphCache) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
+	var st Stats
+	dists, prep, err := c.e.prepBatch(source, targets, &st)
+	if err != nil || prep == nil {
+		countReachable(dists, &st)
+		return dists, st, err
+	}
+	en, searched, err := c.acquire(source, prep.maxEuclid)
+	if err != nil {
+		return nil, st, err
+	}
+	off := en.center.Dist(source)
+	grow := func(radius float64) (bool, error) {
+		// Cover disk(source, radius) via the containing entry-centered disk.
+		before := en.g.NumObstacles()
+		if err := en.grow(c.e, off+radius); err != nil {
+			return false, err
+		}
+		return en.g.NumObstacles() > before, nil
+	}
+	expandErr := c.e.batchExpand(en.g, source, prep, searched, grow, &st)
+	// The enlargement loop may legitimately outgrow the reuse cap (e.g.
+	// proving a sealed-off target unreachable expands to the full obstacle
+	// extent) — and may have done so even when it then failed. Such a graph
+	// must not stay resident and soak up every future query, so it is
+	// dropped instead of cached.
+	if en.searched > growLimit*en.base {
+		c.drop(en)
+	}
+	if expandErr != nil {
+		return nil, st, expandErr
+	}
+	countReachable(dists, &st)
+	return dists, st, nil
+}
+
+// drop removes an entry from the cache.
+func (c *GraphCache) drop(en *cacheEntry) {
+	for i, e := range c.entries {
+		if e == en {
+			c.entries = append(c.entries[:i], c.entries[i+1:]...)
+			c.stats.Evictions++
+			return
+		}
+	}
+}

@@ -129,8 +129,11 @@ type Stats struct {
 	// FalseHits counts Euclidean candidates eliminated by the obstructed
 	// metric (for kNN: Euclidean kNNs absent from the obstructed kNN set).
 	FalseHits int
-	// GraphNodes and GraphEdges describe the (largest) local visibility
-	// graph built for the query.
+	// GraphNodes and GraphEdges describe the (largest) visibility graph
+	// the query worked on. With the engine's graph cache enabled these
+	// count the shared cached graph — whose obstacles accrete across
+	// queries — not a per-query local graph, so they are history-dependent
+	// there.
 	GraphNodes, GraphEdges int
 	// DistComputations counts invocations of the obstructed distance
 	// computation (Fig 8).
@@ -142,6 +145,12 @@ type Stats struct {
 type Engine struct {
 	obstacles *ObstacleSet
 	opts      EngineOptions
+	// metrics accumulates visibility-graph work across every query the
+	// engine runs; see Metrics.
+	metrics visgraph.Metrics
+	// cache, when enabled, retains expanded visibility-graph states for
+	// reuse across batch-distance queries; see EnableGraphCache.
+	cache *GraphCache
 }
 
 // EngineOptions tunes query execution.
@@ -168,8 +177,15 @@ func NewEngine(o *ObstacleSet, opts EngineOptions) *Engine {
 // Obstacles returns the engine's obstacle set.
 func (e *Engine) Obstacles() *ObstacleSet { return e.obstacles }
 
+// Metrics returns the cumulative visibility-graph work counters of every
+// query run so far (graph builds, Dijkstra expansions, settled nodes).
+func (e *Engine) Metrics() visgraph.Metrics { return e.metrics }
+
+// ResetMetrics zeroes the work counters.
+func (e *Engine) ResetMetrics() { e.metrics = visgraph.Metrics{} }
+
 func (e *Engine) graphOptions() visgraph.Options {
-	return visgraph.Options{UseSweep: e.opts.UseSweep}
+	return visgraph.Options{UseSweep: e.opts.UseSweep, Metrics: &e.metrics}
 }
 
 // relevantObstacles returns the obstacles whose polygons intersect the disk

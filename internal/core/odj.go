@@ -72,6 +72,9 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 		})
 	}
 	// Step 4: per-seed false-hit elimination (the OR refinement of Fig 5).
+	// With the engine's graph cache enabled, consecutive Hilbert-adjacent
+	// seeds reuse one expanded graph instead of rebuilding overlapping
+	// obstacle neighborhoods from scratch.
 	var out []JoinPair
 	for _, seed := range seeds {
 		q := seedSet.Point(seed)
@@ -80,16 +83,19 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 		} else if inside {
 			continue // a buried seed reaches none of its partners
 		}
-		obs, err := e.relevantObstacles(q, dist)
+		g, cached, err := e.localGraph(q, dist)
 		if err != nil {
 			return nil, st, err
 		}
-		g := visgraph.Build(e.graphOptions(), obs)
 		remaining := make(map[visgraph.NodeID]int64, len(partners[seed]))
+		added := make([]visgraph.NodeID, 0, len(partners[seed])+1)
 		for _, pid := range partners[seed] {
-			remaining[g.AddEntity(otherSet.Point(pid))] = pid
+			n := g.AddEntity(otherSet.Point(pid))
+			remaining[n] = pid
+			added = append(added, n)
 		}
 		nq := g.AddTerminal(q)
+		added = append(added, nq)
 		if n, m := g.NumNodes(), g.NumEdges(); n > st.GraphNodes {
 			st.GraphNodes, st.GraphEdges = n, m
 		}
@@ -101,6 +107,11 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 			}
 			return len(remaining) > 0
 		})
+		if cached {
+			for _, n := range added {
+				g.DeleteEntity(n)
+			}
+		}
 	}
 	st.Results = len(out)
 	st.FalseHits = st.Candidates - st.Results

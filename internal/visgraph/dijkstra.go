@@ -32,6 +32,9 @@ func (q *pq) Pop() interface{} {
 // around the query point (Fig 5 of the paper); duplicates in the queue are
 // skipped on dequeue, exactly as described there.
 func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist float64) bool) {
+	if g.opts.Metrics != nil {
+		g.opts.Metrics.Expansions++
+	}
 	settled := make([]bool, len(g.nodes))
 	best := make([]float64, len(g.nodes))
 	for i := range best {
@@ -45,6 +48,9 @@ func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist f
 			continue
 		}
 		settled[it.node] = true
+		if g.opts.Metrics != nil {
+			g.opts.Metrics.SettledNodes++
+		}
 		if !visit(it.node, it.dist) {
 			return
 		}
@@ -68,6 +74,9 @@ func (g *Graph) ShortestPath(source, target NodeID) ([]NodeID, float64) {
 	if source == target {
 		return []NodeID{source}, 0
 	}
+	if g.opts.Metrics != nil {
+		g.opts.Metrics.Expansions++
+	}
 	parent := make(map[NodeID]NodeID, len(g.nodes))
 	settled := make(map[NodeID]bool, len(g.nodes))
 	dist := make(map[NodeID]float64, len(g.nodes))
@@ -79,6 +88,9 @@ func (g *Graph) ShortestPath(source, target NodeID) ([]NodeID, float64) {
 			continue
 		}
 		settled[it.node] = true
+		if g.opts.Metrics != nil {
+			g.opts.Metrics.SettledNodes++
+		}
 		if it.node == target {
 			var path []NodeID
 			for n := target; n != Invalid; n = parent[n] {

@@ -46,6 +46,23 @@ type Options struct {
 	// UseSweep selects the rotational plane-sweep visibility algorithm
 	// [SS84]; when false a naive check against every obstacle is used.
 	UseSweep bool
+	// Metrics, when non-nil, accumulates work counters across every graph
+	// built with these options. The engine shares one Metrics across all the
+	// local graphs of its queries, so batch primitives can demonstrate their
+	// savings against per-pair execution.
+	Metrics *Metrics
+}
+
+// Metrics accumulates graph work counters. One Metrics may be shared by many
+// graphs (the sharer is single-threaded, like the graphs themselves).
+type Metrics struct {
+	// SettledNodes counts nodes settled (dequeued final) across all Dijkstra
+	// expansions — the dominant cost of distance refinement.
+	SettledNodes uint64
+	// Expansions counts Dijkstra runs (Expand and ShortestPath calls).
+	Expansions uint64
+	// Builds counts graph constructions via Build.
+	Builds uint64
 }
 
 // HalfEdge is an adjacency record: the far node and the Euclidean length.
@@ -113,6 +130,9 @@ type Obstacle struct {
 // (Section 3). Further obstacles and points can still be added dynamically.
 func Build(opts Options, obstacles []Obstacle) *Graph {
 	g := New(opts)
+	if opts.Metrics != nil {
+		opts.Metrics.Builds++
+	}
 	var ids []NodeID
 	for _, ob := range obstacles {
 		if _, ok := g.obstIDs[ob.ID]; ok {

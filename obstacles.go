@@ -26,6 +26,10 @@ type Options struct {
 	// InsertLoad builds trees by repeated R* insertion instead of STR bulk
 	// loading; slower to build, exercise for dynamic workloads.
 	InsertLoad bool
+	// GraphCacheSize is the number of expanded visibility-graph states the
+	// engine retains for reuse across batch-distance queries, clustering
+	// neighborhoods and join seeds (default 8; negative disables caching).
+	GraphCacheSize int
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -39,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BufferFraction <= 0 || o.BufferFraction > 1 {
 		o.BufferFraction = 0.10
+	}
+	if o.GraphCacheSize == 0 {
+		o.GraphCacheSize = 8
 	}
 	return o
 }
@@ -66,7 +73,11 @@ type Pair struct {
 }
 
 // Unreachable is the distance reported when no obstacle-avoiding path
-// exists (an entity sealed off by obstacles).
+// exists (an entity sealed off by obstacles, or strictly inside one).
+// Batch distances report it per target, and clustering assigns such
+// entities NoiseCluster: a sealed-off point can belong to no ε-neighborhood
+// and no medoid can serve it, so it becomes a noise singleton rather than
+// poisoning a cluster's cost.
 var Unreachable = math.Inf(1)
 
 // TreeStats reports page-level I/O counters of one R-tree.
@@ -103,6 +114,9 @@ func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
 	}
 	sizeBuffer(obstSet.Tree(), opts.BufferFraction)
 	eng := core.NewEngine(obstSet, core.EngineOptions{UseSweep: !opts.NaiveVisibility})
+	if opts.GraphCacheSize > 0 {
+		eng.EnableGraphCache(opts.GraphCacheSize)
+	}
 	return &Database{
 		opts:     opts,
 		engine:   eng,

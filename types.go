@@ -11,6 +11,13 @@
 // obstructed one) and local visibility graphs, built on-line from only the
 // obstacles relevant to each query, refine them.
 //
+// Beyond the paper's query types, the library computes batch obstructed
+// distances (ObstructedDistances, DistanceMatrix) with one shared
+// visibility-graph expansion per source over an LRU of expanded graph
+// states, and clusters datasets by obstructed distance (Cluster): DBSCAN
+// density clustering and k-medoids partitioning, where entities separated
+// by an obstacle wall cluster apart even when they are Euclidean-close.
+//
 // Quick start:
 //
 //	db, err := obstacles.NewDatabaseFromRects(streetMBRs, obstacles.DefaultOptions())
@@ -18,6 +25,10 @@
 //	err = db.AddDataset("restaurants", restaurantPoints)
 //	...
 //	nns, err := db.NearestNeighbors("restaurants", obstacles.Pt(x, y), 5)
+//	...
+//	cl, err := db.Cluster("restaurants", obstacles.ClusterOptions{
+//		Algorithm: obstacles.DBSCAN, Eps: 500, MinPts: 4,
+//	})
 //
 // See the examples directory for complete programs.
 package obstacles
