@@ -11,9 +11,13 @@
 package obstacles_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	obstacles "repro"
 	"repro/internal/core"
@@ -25,6 +29,8 @@ import (
 )
 
 const benchObstacles = 4000
+
+var bctx = context.Background()
 
 var benchLabs = map[int]*expt.Lab{}
 
@@ -491,7 +497,7 @@ func BenchmarkClusterDBSCAN(b *testing.B) {
 			eps := clusterEps(universe, nPts)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cl, err := db.Cluster("P", obstacles.ClusterOptions{
+				cl, err := db.Cluster(bctx, "P", obstacles.ClusterOptions{
 					Algorithm: obstacles.DBSCAN, Eps: eps, MinPts: 4,
 				})
 				if err != nil {
@@ -515,7 +521,7 @@ func BenchmarkClusterKMedoids(b *testing.B) {
 			db, _ := clusterBench(b, 500, nPts)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cl, err := db.Cluster("P", obstacles.ClusterOptions{
+				cl, err := db.Cluster(bctx, "P", obstacles.ClusterOptions{
 					Algorithm: obstacles.KMedoids, K: 8,
 				})
 				if err != nil {
@@ -559,7 +565,7 @@ func BenchmarkAblationGraphCacheDBSCAN(b *testing.B) {
 			basePages := db.ObstacleTreeStats().PageAccesses
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Cluster("P", obstacles.ClusterOptions{
+				if _, err := db.Cluster(bctx, "P", obstacles.ClusterOptions{
 					Algorithm: obstacles.DBSCAN, Eps: eps, MinPts: 4,
 				}); err != nil {
 					b.Fatal(err)
@@ -599,4 +605,59 @@ func BenchmarkAblationIncrementalCP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkConcurrentQueries measures aggregate query throughput over one
+// shared Database at 1, 4 and 16 goroutines — the baseline recorded in
+// BENCH_api.json. The workload alternates k-NN and range queries through
+// the public context-first API; all goroutines share the warm page buffers
+// and the visibility-graph cache. ns/op is wall time per query; the
+// queries/sec metric is the aggregate throughput the API redesign exists
+// to scale.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	db, universe := clusterBench(b, 1000, 2000)
+	rng := rand.New(rand.NewSource(5))
+	queries := make([]obstacles.Point, 64)
+	for i := range queries {
+		queries[i] = obstacles.Pt(rng.Float64()*universe, rng.Float64()*universe)
+	}
+	radius := universe * 0.02
+	// Warm the buffers so every parallelism level starts from the same
+	// steady state.
+	for _, q := range queries {
+		if _, err := db.NearestNeighbors(bctx, "P", q, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			per := (b.N + g - 1) / g
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q := queries[(w*per+i)%len(queries)]
+						var err error
+						if i%2 == 0 {
+							_, err = db.NearestNeighbors(bctx, "P", q, 8)
+						} else {
+							_, err = db.Range(bctx, "P", q, radius)
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(g*per)/elapsed.Seconds(), "queries/sec")
+		})
+	}
 }

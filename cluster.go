@@ -1,12 +1,13 @@
 package obstacles
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/rtree"
 )
 
 // ClusterAlgorithm selects the clustering method used by Database.Cluster.
@@ -79,40 +80,51 @@ type Clustering struct {
 	NoiseCount int
 }
 
-// engineOracle adapts the engine's batch-distance primitives to the
+// sessionOracle adapts one query session's batch-distance primitives to the
 // cluster.DistanceOracle / cluster.MatrixOracle / cluster.CandidateSource
 // interfaces, with ε-neighborhood candidates served by the dataset's
-// R-tree instead of a linear scan.
-type engineOracle struct {
-	eng *core.Engine
-	ps  *core.PointSet
+// R-tree instead of a linear scan. All oracle calls share the session, so a
+// canceled context aborts the clustering job mid-flight and the session's
+// counters describe the whole job.
+type sessionOracle struct {
+	sess *core.Session
+	ps   *core.PointSet
+	st   *core.Stats // aggregated engine-level counters across oracle calls
 }
 
-func (o engineOracle) Distances(source geom.Point, targets []geom.Point) ([]float64, error) {
-	d, _, err := o.eng.BatchDistances(source, targets)
+func (o sessionOracle) Distances(source geom.Point, targets []geom.Point) ([]float64, error) {
+	d, rst, err := o.sess.BatchDistances(source, targets)
+	o.st.Merge(rst)
 	return d, err
 }
 
-func (o engineOracle) DistanceMatrix(pts []geom.Point) ([][]float64, error) {
-	m, _, err := o.eng.DistanceMatrix(pts)
+func (o sessionOracle) DistanceMatrix(pts []geom.Point) ([][]float64, error) {
+	m, rst, err := o.sess.DistanceMatrix(pts)
+	o.st.Merge(rst)
 	return m, err
 }
 
-func (o engineOracle) EuclideanRange(i int, r float64) ([]int, error) {
-	var out []int
-	err := o.ps.Tree().SearchCircle(o.ps.Point(int64(i)), r, func(it rtree.Item) bool {
-		out = append(out, int(it.Data))
-		return true
-	})
-	return out, err
+func (o sessionOracle) EuclideanRange(i int, r float64) ([]int, error) {
+	ids, err := o.sess.EuclideanRange(o.ps, o.ps.Point(int64(i)), r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(ids))
+	for k, id := range ids {
+		out[k] = int(id)
+	}
+	return out, nil
 }
 
 // Cluster groups the entities of a dataset by obstructed distance: entities
 // on opposite sides of an obstacle wall cluster apart even when they are
 // Euclidean-close. Neighborhoods and medoid assignments are computed with
 // the batch multi-source distance engine (one visibility-graph expansion
-// per source over cached graphs), not per-pair distance calls.
-func (db *Database) Cluster(dataset string, opts ClusterOptions) (*Clustering, error) {
+// per source over cached graphs), not per-pair distance calls. Clustering
+// jobs can run long; cancel ctx to abort one mid-flight with ctx.Err().
+func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOptions, opts ...QueryOption) (*Clustering, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
 	ps, err := db.dataset(dataset)
 	if err != nil {
 		return nil, err
@@ -121,26 +133,29 @@ func (db *Database) Cluster(dataset string, opts ClusterOptions) (*Clustering, e
 	for i := range pts {
 		pts[i] = ps.Point(int64(i))
 	}
-	oracle := engineOracle{eng: db.engine, ps: ps}
+	sess := db.engine.NewSession(ctx)
+	var st core.Stats
+	oracle := sessionOracle{sess: sess, ps: ps, st: &st}
 	var res *cluster.Result
-	switch opts.Algorithm {
+	switch copts.Algorithm {
 	case DBSCAN:
-		if opts.Eps <= 0 {
-			return nil, fmt.Errorf("obstacles: DBSCAN needs Eps > 0, got %v", opts.Eps)
+		if copts.Eps <= 0 {
+			return nil, fmt.Errorf("obstacles: DBSCAN needs Eps > 0, got %v", copts.Eps)
 		}
-		minPts := opts.MinPts
+		minPts := copts.MinPts
 		if minPts == 0 {
 			minPts = 4
 		}
-		res, err = cluster.DBSCAN(pts, oracle, opts.Eps, minPts)
+		res, err = cluster.DBSCAN(pts, oracle, copts.Eps, minPts)
 	case KMedoids:
-		if opts.K < 1 {
-			return nil, fmt.Errorf("obstacles: KMedoids needs K >= 1, got %d", opts.K)
+		if copts.K < 1 {
+			return nil, fmt.Errorf("obstacles: KMedoids needs K >= 1, got %d", copts.K)
 		}
-		res, err = cluster.KMedoids(pts, oracle, opts.K, opts.MaxIterations)
+		res, err = cluster.KMedoids(pts, oracle, copts.K, copts.MaxIterations)
 	default:
-		return nil, fmt.Errorf("obstacles: unknown clustering algorithm %v", opts.Algorithm)
+		return nil, fmt.Errorf("obstacles: unknown clustering algorithm %v", copts.Algorithm)
 	}
+	cfg.record(sess, st, start)
 	if err != nil {
 		return nil, fmt.Errorf("obstacles: clustering %q: %w", dataset, err)
 	}
@@ -158,8 +173,12 @@ func (db *Database) Cluster(dataset string, opts ClusterOptions) (*Clustering, e
 // shared visibility graph serves the whole batch (one Dijkstra expansion
 // per range-enlargement round), which is substantially cheaper than calling
 // ObstructedDistance once per target.
-func (db *Database) ObstructedDistances(q Point, targets []Point) ([]float64, error) {
-	d, _, err := db.engine.BatchDistances(q, targets)
+func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []Point, opts ...QueryOption) ([]float64, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
+	sess := db.engine.NewSession(ctx)
+	d, st, err := sess.BatchDistances(q, targets)
+	cfg.record(sess, st, start)
 	return d, err
 }
 
@@ -167,7 +186,11 @@ func (db *Database) ObstructedDistances(q Point, targets []Point) ([]float64, er
 // pts (Unreachable off-diagonal entries for sealed-off pairs, zero on the
 // diagonal — by definition, even for a point strictly inside an obstacle,
 // where the pair APIs report Unreachable).
-func (db *Database) DistanceMatrix(pts []Point) ([][]float64, error) {
-	m, _, err := db.engine.DistanceMatrix(pts)
+func (db *Database) DistanceMatrix(ctx context.Context, pts []Point, opts ...QueryOption) ([][]float64, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
+	sess := db.engine.NewSession(ctx)
+	m, st, err := sess.DistanceMatrix(pts)
+	cfg.record(sess, st, start)
 	return m, err
 }

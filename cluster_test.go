@@ -85,7 +85,7 @@ func TestClusterMatchesBruteForceReference(t *testing.T) {
 		copy(gpts, pts)
 
 		for _, eps := range []float64{15, 30, 60} {
-			got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: eps, MinPts: 3})
+			got, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN, Eps: eps, MinPts: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +99,7 @@ func TestClusterMatchesBruteForceReference(t *testing.T) {
 			}
 		}
 		for _, k := range []int{2, 4} {
-			got, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: k})
+			got, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: KMedoids, K: k})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -137,7 +137,7 @@ func TestClusterObstacleFreeMatchesEuclidean(t *testing.T) {
 	gpts := make([]geom.Point, len(pts))
 	copy(gpts, pts)
 
-	got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 12, MinPts: 3})
+	got, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN, Eps: 12, MinPts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestClusterObstacleFreeMatchesEuclidean(t *testing.T) {
 			got.Assignments, want.Assignments)
 	}
 
-	gotK, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 5})
+	gotK, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: KMedoids, K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestClusterWallSplit(t *testing.T) {
 		t.Fatalf("euclidean control: %d clusters, want 1", eu.NumClusters)
 	}
 	// Obstructed: the wall forces a detour of 100+, far beyond eps.
-	got, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 15, MinPts: 3})
+	got, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN, Eps: 15, MinPts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestClusterWallSplit(t *testing.T) {
 		t.Fatalf("wall did not split clusters: %v", got.Assignments)
 	}
 	// k-medoids with k=2 must likewise put one medoid per side.
-	km, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 2})
+	km, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: KMedoids, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,12 +228,12 @@ func TestObstructedDistancesPublic(t *testing.T) {
 	db := cityDB(t, DefaultOptions())
 	q := Pt(5, 5)
 	targets := []Point{Pt(95, 95), Pt(5, 80), Pt(20, 20), q}
-	got, err := db.ObstructedDistances(q, targets)
+	got, err := db.ObstructedDistances(ctx, q, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range targets {
-		want, err := db.ObstructedDistance(q, p)
+		want, err := db.ObstructedDistance(ctx, q, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestObstructedDistancesPublic(t *testing.T) {
 		t.Fatalf("self distance = %v", got[3])
 	}
 	// DistanceMatrix is consistent with the batch call.
-	m, err := db.DistanceMatrix([]Point{q, Pt(95, 95), Pt(5, 80)})
+	m, err := db.DistanceMatrix(ctx, []Point{q, Pt(95, 95), Pt(5, 80)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestClusterSealedEntityIsNoise(t *testing.T) {
 	if err := db.AddDataset("P", pts); err != nil {
 		t.Fatal(err)
 	}
-	km, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids, K: 2})
+	km, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: KMedoids, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestClusterSealedEntityIsNoise(t *testing.T) {
 	if km.NumClusters != 2 {
 		t.Fatalf("k-medoids produced %d clusters, want 2", km.NumClusters)
 	}
-	dm, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN, Eps: 10, MinPts: 3})
+	dm, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN, Eps: 10, MinPts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,16 +310,16 @@ func TestClusterValidation(t *testing.T) {
 	if err := db.AddDataset("P", []Point{Pt(1, 1), Pt(2, 2)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Cluster("nope", ClusterOptions{Algorithm: DBSCAN, Eps: 5}); err == nil {
+	if _, err := db.Cluster(ctx, "nope", ClusterOptions{Algorithm: DBSCAN, Eps: 5}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if _, err := db.Cluster("P", ClusterOptions{Algorithm: DBSCAN}); err == nil {
+	if _, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN}); err == nil {
 		t.Error("DBSCAN without Eps accepted")
 	}
-	if _, err := db.Cluster("P", ClusterOptions{Algorithm: KMedoids}); err == nil {
+	if _, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: KMedoids}); err == nil {
 		t.Error("KMedoids without K accepted")
 	}
-	if _, err := db.Cluster("P", ClusterOptions{Algorithm: ClusterAlgorithm(99), Eps: 5}); err == nil {
+	if _, err := db.Cluster(ctx, "P", ClusterOptions{Algorithm: ClusterAlgorithm(99), Eps: 5}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }

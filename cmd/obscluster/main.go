@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ func main() {
 		maxIter = flag.Int("maxiter", 0, "kmedoids swap-round cap (0 = to convergence)")
 		assign  = flag.String("assign", "", "write per-entity assignments to this CSV file")
 		naive   = flag.Bool("naive", false, "naive visibility (for overlapping obstacle data)")
+		timeout = flag.Duration("timeout", 0, "abort the clustering job after this long (0 = none)")
 	)
 	flag.Parse()
 
@@ -67,7 +69,14 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
-	cl, err := db.Cluster("P", copts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var qs obstacles.QueryStats
+	cl, err := db.Cluster(ctx, "P", copts, obstacles.WithStats(&qs))
 	if err != nil {
 		fatal(err)
 	}
@@ -85,8 +94,8 @@ func main() {
 		fmt.Printf("assignments written to %s\n", *assign)
 	}
 
-	st := db.ObstacleTreeStats()
-	fmt.Printf("\nI/O: obstacle tree %d page accesses (%d node reads)\n", st.PageAccesses, st.LogicalReads)
+	fmt.Printf("\njob: %v | pages=%d (logical=%d) | dist-comps=%d settled=%d builds=%d\n",
+		qs.Elapsed, qs.PageAccesses, qs.LogicalReads, qs.DistComputations, qs.SettledNodes, qs.GraphBuilds)
 }
 
 func printClusters(cl *obstacles.Clustering, pts []obstacles.Point) {

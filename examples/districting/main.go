@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,9 +54,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
+
 	// Four districts by walking distance: the wall forces an east/west
 	// split a Euclidean partition would not make.
-	cl, err := db.Cluster("stops", obstacles.ClusterOptions{
+	cl, err := db.Cluster(ctx, "stops", obstacles.ClusterOptions{
 		Algorithm: obstacles.KMedoids,
 		K:         4,
 	})
@@ -85,7 +88,7 @@ func main() {
 			continue
 		}
 		hub := stops[cl.Medoids[a]]
-		dO, err := db.ObstructedDistances(stops[i], []obstacles.Point{hub})
+		dO, err := db.ObstructedDistances(ctx, stops[i], []obstacles.Point{hub})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +103,7 @@ func main() {
 
 	// Density view: stops without 3 others within walking distance 32
 	// (MinPts counts the stop itself) are flagged for consolidated routes.
-	dens, err := db.Cluster("stops", obstacles.ClusterOptions{
+	dens, err := db.Cluster(ctx, "stops", obstacles.ClusterOptions{
 		Algorithm: obstacles.DBSCAN,
 		Eps:       32,
 		MinPts:    4,

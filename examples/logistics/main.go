@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -63,9 +64,10 @@ func main() {
 	}
 
 	const serviceRadius = 350.0
+	ctx := context.Background()
 
 	// Which (depot, store) pairs are genuinely serviceable?
-	pairs, err := db.DistanceJoin("depots", "stores", serviceRadius)
+	pairs, err := db.DistanceJoin(ctx, "depots", "stores", serviceRadius)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -71,7 +72,8 @@ func main() {
 	// reachability overestimates.
 	v := vessels[0]
 	const fuel = 600
-	reachable, err := db.Range("harbors", v, fuel)
+	ctx := context.Background()
+	reachable, err := db.Range(ctx, "harbors", v, fuel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 	}
 
 	// Dispatcher: the three closest vessel/harbor assignments overall.
-	pairs, err := db.ClosestPairs("vessels", "harbors", 3)
+	pairs, err := db.ClosestPairs(ctx, "vessels", "harbors", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,24 +95,22 @@ func main() {
 
 	// Browse pairs incrementally until we find one whose harbor is on the
 	// north shore (y > 800) — the paper's constrained-query motivation for
-	// iOCP, where k is not known in advance.
-	it, err := db.ClosestPairIterator("vessels", "harbors")
-	if err != nil {
-		log.Fatal(err)
+	// iOCP, where k is not known in advance. The predicate is pushed into
+	// the stream with WithPairFilter, so the loop body only sees matches.
+	northern := obstacles.WithPairFilter(func(p obstacles.Pair) bool {
+		return harbors[p.ID2].Y > 800
+	})
+	found := false
+	for p, err := range db.Closest(ctx, "vessels", "harbors", northern) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nclosest northern assignment: vessel %d -> harbor %d at %.0f\n",
+			p.ID1, p.ID2, p.Distance)
+		found = true
+		break
 	}
-	for {
-		p, ok := it.Next()
-		if !ok {
-			if err := it.Err(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println("\nno northern assignment found")
-			break
-		}
-		if harbors[p.ID2].Y > 800 {
-			fmt.Printf("\nclosest northern assignment: vessel %d -> harbor %d at %.0f\n",
-				p.ID1, p.ID2, p.Distance)
-			break
-		}
+	if !found {
+		fmt.Println("\nno northern assignment found")
 	}
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -61,8 +62,9 @@ func main() {
 	// far on foot.
 	q := obstacles.Pt(255, 230)
 	const k = 5
+	ctx := context.Background()
 
-	walking, err := db.NearestNeighbors("restaurants", q, k)
+	walking, err := db.NearestNeighbors(ctx, "restaurants", q, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +106,7 @@ func main() {
 
 	// Turn-by-turn route to the winner: the shortest path bends only at
 	// building corners.
-	route, dist, err := db.ObstructedPath(q, walking[0].Point)
+	route, dist, err := db.ObstructedPath(ctx, q, walking[0].Point)
 	if err != nil {
 		log.Fatal(err)
 	}

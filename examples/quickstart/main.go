@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,15 +38,16 @@ func main() {
 	must(db.AddDataset("offices", offices))
 
 	q := obstacles.Pt(35, 35) // a pedestrian at a street crossing
+	ctx := context.Background()
 
 	// Obstructed distance between two points.
-	d, err := db.ObstructedDistance(q, obstacles.Pt(5, 5))
+	d, err := db.ObstructedDistance(ctx, q, obstacles.Pt(5, 5))
 	must(err)
 	fmt.Printf("walking distance center -> (5,5): %.1f (straight line %.1f)\n",
 		d, q.Dist(obstacles.Pt(5, 5)))
 
 	// Range query: cafes within walking distance 60.
-	within, err := db.Range("cafes", q, 60)
+	within, err := db.Range(ctx, "cafes", q, 60)
 	must(err)
 	fmt.Println("\ncafes within walking distance 60:")
 	for _, nb := range within {
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	// k nearest neighbors.
-	nns, err := db.NearestNeighbors("cafes", q, 2)
+	nns, err := db.NearestNeighbors(ctx, "cafes", q, 2)
 	must(err)
 	fmt.Println("\n2 nearest cafes:")
 	for _, nb := range nns {
@@ -61,7 +63,7 @@ func main() {
 	}
 
 	// e-distance join: office/cafe pairs within walking distance 45.
-	pairs, err := db.DistanceJoin("offices", "cafes", 45)
+	pairs, err := db.DistanceJoin(ctx, "offices", "cafes", 45)
 	must(err)
 	fmt.Println("\noffice-cafe pairs within walking distance 45:")
 	for _, p := range pairs {
@@ -69,32 +71,28 @@ func main() {
 	}
 
 	// Closest pairs.
-	cps, err := db.ClosestPairs("offices", "cafes", 2)
+	cps, err := db.ClosestPairs(ctx, "offices", "cafes", 2)
 	must(err)
 	fmt.Println("\n2 closest office-cafe pairs:")
 	for _, p := range cps {
 		fmt.Printf("  office %d - cafe %d: %.1f\n", p.ID1, p.ID2, p.Distance)
 	}
 
-	// Incremental nearest neighbors: browse until a predicate matches.
-	it, err := db.NearestIterator("cafes", q)
-	must(err)
+	// Incremental nearest neighbors: browse the range-over-func sequence
+	// until a predicate matches, collecting this query's own work counters.
+	var qs obstacles.QueryStats
 	fmt.Println("\nnearest cafe west of x=40 (incremental search):")
-	for {
-		nb, ok := it.Next()
-		if !ok {
-			must(it.Err())
-			break
-		}
+	for nb, err := range db.Nearest(ctx, "cafes", q, obstacles.WithStats(&qs)) {
+		must(err)
 		if nb.Point.X < 40 {
 			fmt.Printf("  cafe %d at %v: %.1f\n", nb.ID, nb.Point, nb.Distance)
 			break
 		}
 	}
 
-	// The I/O the queries above cost, in buffer-missing page accesses.
-	st := db.ObstacleTreeStats()
-	fmt.Printf("\nobstacle R-tree: %d node reads, %d buffer misses\n", st.LogicalReads, st.PageAccesses)
+	// What that one query cost, in buffer-missing page accesses.
+	fmt.Printf("\nincremental query: %d node reads, %d buffer misses, %d settled graph nodes\n",
+		qs.LogicalReads, qs.PageAccesses, qs.SettledNodes)
 }
 
 func must(err error) {

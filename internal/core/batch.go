@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/visgraph"
@@ -24,26 +26,32 @@ import (
 // expanded graph state is reused across calls; otherwise a fresh local graph
 // is built, covering the largest Euclidean source-target distance as in
 // Fig 7.
-func (e *Engine) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
-	if e.cache != nil {
-		return e.cache.BatchDistances(source, targets)
+func (s *Session) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
+	if s.e.cache != nil {
+		return s.batchViaCache(s.e.cache, source, targets)
 	}
-	var st Stats
-	dists, prep, err := e.prepBatch(source, targets, &st)
+	return s.batchLocal(source, targets)
+}
+
+// batchLocal is the uncached batch path: one query-local graph.
+func (s *Session) batchLocal(source geom.Point, targets []geom.Point) (_ []float64, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	dists, prep, err := s.prepBatch(source, targets, &st)
 	if err != nil || prep == nil {
 		countReachable(dists, &st)
 		return dists, st, err
 	}
 	r0 := prep.maxEuclid
-	obs, err := e.relevantObstacles(source, r0)
+	obs, err := s.relevantObstacles(source, r0)
 	if err != nil {
 		return nil, st, err
 	}
-	g := visgraph.Build(e.graphOptions(), obs)
+	g := visgraph.Build(s.graphOptions(), obs)
 	grow := func(radius float64) (bool, error) {
-		return e.addObstaclesWithin(g, source, radius)
+		return s.addObstaclesWithin(g, source, radius)
 	}
-	if err := e.batchExpand(g, source, prep, r0, grow, &st); err != nil {
+	if err := s.batchExpand(g, source, prep, r0, grow, &st); err != nil {
 		return nil, st, err
 	}
 	countReachable(dists, &st)
@@ -66,9 +74,9 @@ func countReachable(dists []float64, st *Stats) {
 // pair APIs (ObstructedDistance, BatchDistances) report +Inf; such a
 // point's off-diagonal entries are all +Inf. One multi-target expansion
 // runs per source point (row i covers columns j > i; the lower triangle is
-// mirrored), against a small shared graph cache, instead of n(n-1)/2
+// mirrored), against a small call-local graph cache, instead of n(n-1)/2
 // independent pair computations.
-func (e *Engine) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
+func (s *Session) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
 	var st Stats
 	out := make([][]float64, len(pts))
 	for i := range out {
@@ -76,18 +84,25 @@ func (e *Engine) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
 	}
 	// A matrix call spans the whole point extent, so its graphs grow toward
 	// global coverage; a call-local cache keeps those heavyweight graphs
-	// from being pinned in the engine's long-lived cache. With the engine
-	// cache disabled, the matrix runs uncached too (one graph per row).
-	batch := e.BatchDistances
-	if e.cache != nil {
-		batch = NewGraphCache(e, 4).BatchDistances
+	// from being pinned in the engine's long-lived shared cache. With the
+	// engine cache disabled, the matrix runs uncached too (one graph per
+	// row).
+	batch := s.batchLocal
+	if s.e.cache != nil {
+		local := NewGraphCache(s.e, 4)
+		batch = func(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
+			return s.batchViaCache(local, source, targets)
+		}
 	}
 	for i := 0; i < len(pts)-1; i++ {
+		if err := s.err(); err != nil {
+			return nil, st, err
+		}
 		dists, rst, err := batch(pts[i], pts[i+1:])
 		if err != nil {
 			return nil, st, err
 		}
-		accumulate(&st, rst)
+		st.Merge(rst)
 		for j, d := range dists {
 			out[i][i+1+j] = d
 			out[i+1+j][i] = d
@@ -95,15 +110,6 @@ func (e *Engine) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
 	}
 	st.FalseHits = st.Candidates - st.Results
 	return out, st, nil
-}
-
-func accumulate(st *Stats, rst Stats) {
-	st.Candidates += rst.Candidates
-	st.Results += rst.Results
-	st.DistComputations += rst.DistComputations
-	if rst.GraphNodes > st.GraphNodes {
-		st.GraphNodes, st.GraphEdges = rst.GraphNodes, rst.GraphEdges
-	}
 }
 
 // batchPrep holds the per-call working state shared by the one-shot and
@@ -126,13 +132,13 @@ type batchPrep struct {
 // prepBatch resolves the trivial targets (coincident with the source, or
 // strictly inside an obstacle) and sizes the initial search range. It
 // returns a nil prep when no target needs graph work.
-func (e *Engine) prepBatch(source geom.Point, targets []geom.Point, st *Stats) ([]float64, *batchPrep, error) {
+func (s *Session) prepBatch(source geom.Point, targets []geom.Point, st *Stats) ([]float64, *batchPrep, error) {
 	dists := make([]float64, len(targets))
 	st.Candidates = len(targets)
 	if len(targets) == 0 {
 		return dists, nil, nil
 	}
-	srcInside, err := e.InsideObstacle(source)
+	srcInside, err := s.InsideObstacle(source)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -152,7 +158,7 @@ func (e *Engine) prepBatch(source geom.Point, targets []geom.Point, st *Stats) (
 			p.final[i] = true // dO(p, p) = 0
 			continue
 		}
-		inside, err := e.InsideObstacle(t)
+		inside, err := s.InsideObstacle(t)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -208,8 +214,8 @@ func (p *batchPrep) detach(g *visgraph.Graph) {
 // graph must already incorporate every obstacle within searched of the
 // source; grow must extend that coverage to the given radius, reporting
 // whether any obstacle was new. Results land in prep.dists.
-func (e *Engine) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPrep, searched float64, grow func(radius float64) (bool, error), st *Stats) error {
-	cover, err := e.coverRadius(source)
+func (s *Session) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPrep, searched float64, grow func(radius float64) (bool, error), st *Stats) error {
+	cover, err := s.coverRadius(source)
 	if err != nil {
 		return err
 	}
@@ -218,6 +224,9 @@ func (e *Engine) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPr
 	dists, final := prep.dists, prep.final
 	pending := prep.pending
 	for pending > 0 {
+		if err := s.err(); err != nil {
+			return err
+		}
 		// One expansion settles a provisional distance for every pending
 		// target at once (Dijkstra settles in ascending distance order, so a
 		// settled target's distance is exact in the current graph).
@@ -248,6 +257,9 @@ func (e *Engine) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPr
 			}
 			return !hit || unsettled > 0
 		})
+		if err := s.err(); err != nil {
+			return err
+		}
 		// Finalize targets whose provisional distance the searched range
 		// already certifies, then pick the next enlargement radius.
 		maxOpen := 0.0
@@ -331,22 +343,23 @@ func (e *Engine) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchPr
 }
 
 // localGraph returns a visibility graph incorporating every obstacle within
-// radius of center: a cached entry's graph when the engine's cache is
-// enabled (cached reports which; the caller must then delete every node it
-// adds once done), or a freshly built query-local graph.
-func (e *Engine) localGraph(center geom.Point, radius float64) (g *visgraph.Graph, cached bool, err error) {
-	if e.cache != nil {
-		en, _, err := e.cache.acquire(center, radius)
+// radius of center. With the engine's cache enabled it is a cached entry's
+// graph, held exclusively until the returned release func is called; the
+// caller must delete every node it added and then release. Without a cache
+// the graph is query-local and release is nil.
+func (s *Session) localGraph(center geom.Point, radius float64) (g *visgraph.Graph, release func(), err error) {
+	if s.e.cache != nil {
+		en, _, err := s.e.cache.acquire(s, center, radius)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
-		return en.g, true, nil
+		return en.g, en.release, nil
 	}
-	obs, err := e.relevantObstacles(center, radius)
+	obs, err := s.relevantObstacles(center, radius)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
-	return visgraph.Build(e.graphOptions(), obs), false, nil
+	return visgraph.Build(s.graphOptions(), obs), nil, nil
 }
 
 // GraphCache is a small LRU of expanded visibility-graph states, keyed by
@@ -356,8 +369,14 @@ func (e *Engine) localGraph(center geom.Point, radius float64) (g *visgraph.Grap
 // locality — clustering neighborhoods, Hilbert-ordered join seeds — skip
 // most graph construction. Entity and terminal nodes are removed after each
 // query; cached graphs hold obstacle vertices only.
+//
+// The cache is safe for concurrent sessions: the entry list and traffic
+// counters sit behind one mutex, and each entry carries its own lock held
+// for the duration of a query's use, so queries on disjoint regions run in
+// parallel while queries sharing a warm graph serialize on just that entry.
 type GraphCache struct {
 	e   *Engine
+	mu  sync.Mutex // guards entries and stats
 	cap int
 	// entries are kept in recency order, most recent first.
 	entries []*cacheEntry
@@ -365,15 +384,48 @@ type GraphCache struct {
 }
 
 type cacheEntry struct {
-	g *visgraph.Graph
+	// held is a capacity-1 channel lock, held while a session uses or grows
+	// the graph; entries are published already held, so a concurrent hit
+	// blocks until the graph is actually built. A channel (not a mutex) so
+	// that a canceled query waiting behind a long-running one can give up
+	// promptly instead of parking until the holder finishes.
+	held chan struct{}
+	g    *visgraph.Graph
 	// The graph incorporates every obstacle intersecting the disk
-	// (center, searched).
-	center   geom.Point
-	searched float64
+	// (center, coverage()). center and base are immutable after creation;
+	// coverage is read lock-free during candidate scans (it only grows).
+	center geom.Point
 	// base is the radius the entry was built with; growth is capped at
 	// growLimit*base so a walk of spatially advancing queries cannot
 	// ratchet one entry into a permanently retained near-global graph.
-	base float64
+	base     float64
+	searched atomic.Uint64 // Float64bits of the covered radius
+}
+
+func (en *cacheEntry) coverage() float64     { return math.Float64frombits(en.searched.Load()) }
+func (en *cacheEntry) setCoverage(r float64) { en.searched.Store(math.Float64bits(r)) }
+
+// lock acquires exclusive use of the entry, abandoning the wait when ctx is
+// canceled.
+func (en *cacheEntry) lock(s *Session) error {
+	select {
+	case en.held <- struct{}{}:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+func (en *cacheEntry) unlock() { <-en.held }
+
+// release detaches the holding session's hooks from the cached graph before
+// unlocking: a long-lived entry must not pin a finished session (and the
+// request context its interrupt closure captures) until the next acquire.
+func (en *cacheEntry) release() {
+	if en.g != nil {
+		en.g.Retarget(nil, nil)
+	}
+	en.unlock()
 }
 
 // growLimit bounds how far an entry may expand beyond its original build
@@ -396,7 +448,8 @@ func NewGraphCache(e *Engine, capacity int) *GraphCache {
 
 // EnableGraphCache attaches a graph cache of the given capacity to the
 // engine: BatchDistances and DistanceJoin reuse expanded graph states across
-// calls. Capacity <= 0 detaches the cache.
+// calls. Capacity <= 0 detaches the cache. Not safe to call while queries
+// are in flight; configure the engine before serving.
 func (e *Engine) EnableGraphCache(capacity int) {
 	if capacity <= 0 {
 		e.cache = nil
@@ -411,14 +464,21 @@ func (e *Engine) GraphCacheStats() CacheStats {
 	if e.cache == nil {
 		return CacheStats{}
 	}
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
 	return e.cache.stats
 }
 
-// acquire returns a cached entry whose disk contains the disk
-// (source, r0), growing a nearby entry or building a fresh one if none does.
-// The second return is the radius around source the entry's graph is
-// guaranteed to cover.
-func (c *GraphCache) acquire(source geom.Point, r0 float64) (*cacheEntry, float64, error) {
+// acquire returns a cached entry whose disk contains the disk (source, r0),
+// growing a nearby entry or building a fresh one if none does. The entry is
+// returned with its lock held; the caller must restore the graph to an
+// obstacles-only state and unlock. The second return is the radius around
+// source the entry's graph is guaranteed to cover.
+func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheEntry, float64, error) {
+	if err := s.err(); err != nil {
+		return nil, 0, err
+	}
+	c.mu.Lock()
 	best := -1
 	for i, en := range c.entries {
 		// Reuse only entries whose coverage already contains the source
@@ -427,7 +487,7 @@ func (c *GraphCache) acquire(source geom.Point, r0 float64) (*cacheEntry, float6
 		// entry's original scale (so reuse never inflates a local graph
 		// into a global one).
 		d := en.center.Dist(source)
-		if d <= en.searched && d+r0 <= max(en.searched, growLimit*en.base) {
+		if d <= en.coverage() && d+r0 <= max(en.coverage(), growLimit*en.base) {
 			if best < 0 || d < c.entries[best].center.Dist(source) {
 				best = i
 			}
@@ -438,51 +498,89 @@ func (c *GraphCache) acquire(source geom.Point, r0 float64) (*cacheEntry, float6
 		copy(c.entries[1:best+1], c.entries[:best])
 		c.entries[0] = en
 		c.stats.Hits++
+		c.mu.Unlock()
+		// Wait for exclusive use outside the cache lock, so a long-running
+		// query on one entry never blocks hits on other entries; a canceled
+		// waiter gives up with ctx.Err() instead of parking behind the
+		// holder.
+		if err := en.lock(s); err != nil {
+			return nil, 0, err
+		}
+		if en.g == nil {
+			// The publishing session failed to build the graph (and dropped
+			// the entry); start over — the rescan cannot find it again. Undo
+			// the hit count so one logical acquire scores once.
+			en.unlock()
+			c.mu.Lock()
+			c.stats.Hits--
+			c.mu.Unlock()
+			return c.acquire(s, source, r0)
+		}
+		en.g.Retarget(s.metricsHook())
 		off := en.center.Dist(source)
-		if en.searched-off < r0 {
-			if err := en.grow(c.e, off+r0); err != nil {
+		if en.coverage()-off < r0 {
+			if err := en.grow(s, off+r0); err != nil {
+				en.release()
 				return nil, 0, err
 			}
 		}
-		return en, en.searched - off, nil
+		return en, en.coverage() - off, nil
 	}
 	c.stats.Misses++
-	obs, err := c.e.relevantObstacles(source, r0)
-	if err != nil {
-		return nil, 0, err
-	}
-	en := &cacheEntry{g: visgraph.Build(c.e.graphOptions(), obs), center: source, searched: r0, base: r0}
+	// Publish the entry locked and build its graph outside the cache lock:
+	// concurrent queries for the same region block on the entry (and then
+	// find the built graph) instead of duplicating the build or stalling
+	// the whole cache.
+	en := &cacheEntry{center: source, base: r0, held: make(chan struct{}, 1)}
+	en.setCoverage(r0)
+	en.held <- struct{}{} // uncontended: not yet published
 	c.entries = append([]*cacheEntry{en}, c.entries...)
 	if len(c.entries) > c.cap {
 		c.entries = c.entries[:c.cap]
 		c.stats.Evictions++
 	}
+	c.mu.Unlock()
+	obs, err := s.relevantObstacles(source, r0)
+	if err != nil {
+		c.drop(en)
+		en.unlock()
+		return nil, 0, err
+	}
+	en.g = visgraph.Build(s.graphOptions(), obs)
 	return en, r0, nil
+}
+
+// metricsHook returns the session's work counter and interrupt hook, the
+// arguments Retarget takes.
+func (s *Session) metricsHook() (*visgraph.Metrics, func() bool) {
+	return &s.met, s.interrupted
 }
 
 // grow extends the entry's coverage disk to the given radius around its own
 // center (enlargements requested around other points are translated to the
-// entry center so coverage stays a single disk).
-func (en *cacheEntry) grow(e *Engine, radius float64) error {
-	if radius <= en.searched {
+// entry center so coverage stays a single disk). The caller holds the
+// entry's channel lock (en.held, via acquire).
+func (en *cacheEntry) grow(s *Session, radius float64) error {
+	if radius <= en.coverage() {
 		return nil
 	}
-	if _, err := e.addObstaclesWithin(en.g, en.center, radius); err != nil {
+	if _, err := s.addObstaclesWithin(en.g, en.center, radius); err != nil {
 		return err
 	}
-	en.searched = radius
+	en.setCoverage(radius)
 	return nil
 }
 
-// BatchDistances is Engine.BatchDistances against the cache's graphs.
-func (c *GraphCache) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
-	var st Stats
-	dists, prep, err := c.e.prepBatch(source, targets, &st)
+// batchViaCache is BatchDistances against a cache's graphs.
+func (s *Session) batchViaCache(c *GraphCache, source geom.Point, targets []geom.Point) (_ []float64, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	dists, prep, err := s.prepBatch(source, targets, &st)
 	if err != nil || prep == nil {
 		countReachable(dists, &st)
 		return dists, st, err
 	}
-	en, searched, err := c.acquire(source, prep.maxEuclid)
+	en, searched, err := c.acquire(s, source, prep.maxEuclid)
 	if err != nil {
 		return nil, st, err
 	}
@@ -490,20 +588,22 @@ func (c *GraphCache) BatchDistances(source geom.Point, targets []geom.Point) ([]
 	grow := func(radius float64) (bool, error) {
 		// Cover disk(source, radius) via the containing entry-centered disk.
 		before := en.g.NumObstacles()
-		if err := en.grow(c.e, off+radius); err != nil {
+		if err := en.grow(s, off+radius); err != nil {
 			return false, err
 		}
 		return en.g.NumObstacles() > before, nil
 	}
-	expandErr := c.e.batchExpand(en.g, source, prep, searched, grow, &st)
+	expandErr := s.batchExpand(en.g, source, prep, searched, grow, &st)
 	// The enlargement loop may legitimately outgrow the reuse cap (e.g.
 	// proving a sealed-off target unreachable expands to the full obstacle
 	// extent) — and may have done so even when it then failed. Such a graph
 	// must not stay resident and soak up every future query, so it is
-	// dropped instead of cached.
-	if en.searched > growLimit*en.base {
+	// dropped instead of cached. A canceled query also drops its entry: the
+	// graph may be mid-growth relative to its recorded coverage.
+	if expandErr != nil || en.coverage() > growLimit*en.base {
 		c.drop(en)
 	}
+	en.release()
 	if expandErr != nil {
 		return nil, st, expandErr
 	}
@@ -513,6 +613,8 @@ func (c *GraphCache) BatchDistances(source geom.Point, targets []geom.Point) ([]
 
 // drop removes an entry from the cache.
 func (c *GraphCache) drop(en *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for i, e := range c.entries {
 		if e == en {
 			c.entries = append(c.entries[:i], c.entries[i+1:]...)

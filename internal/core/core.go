@@ -11,9 +11,10 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/geom"
+	"repro/internal/pagefile"
 	"repro/internal/rtree"
 	"repro/internal/visgraph"
 )
@@ -138,16 +139,44 @@ type Stats struct {
 	// DistComputations counts invocations of the obstructed distance
 	// computation (Fig 8).
 	DistComputations int
+	// SettledNodes, Expansions and GraphBuilds are this query's own
+	// visibility-graph work (Dijkstra-settled nodes, Dijkstra runs, graph
+	// constructions) — per-query counters, valid under concurrency, unlike
+	// the engine-wide cumulative Metrics.
+	SettledNodes, Expansions, GraphBuilds uint64
+	// IO is this query's R-tree page traffic across the obstacle tree and
+	// every dataset tree it touched (PhysicalReads are the paper's "page
+	// accesses").
+	IO pagefile.Stats
 }
 
-// Engine executes obstructed queries against one obstacle dataset. It is
-// not safe for concurrent use (the underlying page buffers are shared).
+// Merge folds another call's counters into st — the one merge rule shared
+// by the matrix row loop and the clustering oracle. Additive fields sum,
+// GraphNodes/GraphEdges track the largest graph seen.
+func (st *Stats) Merge(rst Stats) {
+	st.Candidates += rst.Candidates
+	st.Results += rst.Results
+	st.FalseHits += rst.FalseHits
+	st.DistComputations += rst.DistComputations
+	st.SettledNodes += rst.SettledNodes
+	st.Expansions += rst.Expansions
+	st.GraphBuilds += rst.GraphBuilds
+	st.IO = st.IO.Add(rst.IO)
+	if rst.GraphNodes > st.GraphNodes {
+		st.GraphNodes, st.GraphEdges = rst.GraphNodes, rst.GraphEdges
+	}
+}
+
+// Engine executes obstructed queries against one obstacle dataset. An engine
+// holds only shared state — obstacle data, page buffers, the graph cache —
+// all safe for concurrent use, so any number of query sessions (NewSession)
+// or convenience calls may run against it in parallel.
 type Engine struct {
 	obstacles *ObstacleSet
 	opts      EngineOptions
-	// metrics accumulates visibility-graph work across every query the
-	// engine runs; see Metrics.
-	metrics visgraph.Metrics
+	// totals accumulates visibility-graph work across every query the
+	// engine runs, merged from sessions with atomics; see Metrics.
+	totals workTotals
 	// cache, when enabled, retains expanded visibility-graph states for
 	// reuse across batch-distance queries; see EnableGraphCache.
 	cache *GraphCache
@@ -178,84 +207,15 @@ func NewEngine(o *ObstacleSet, opts EngineOptions) *Engine {
 func (e *Engine) Obstacles() *ObstacleSet { return e.obstacles }
 
 // Metrics returns the cumulative visibility-graph work counters of every
-// query run so far (graph builds, Dijkstra expansions, settled nodes).
-func (e *Engine) Metrics() visgraph.Metrics { return e.metrics }
+// query run so far (graph builds, Dijkstra expansions, settled nodes),
+// merged from all sessions. Per-query counters live in each query's Stats.
+func (e *Engine) Metrics() visgraph.Metrics { return e.totals.snapshot() }
 
-// ResetMetrics zeroes the work counters.
-func (e *Engine) ResetMetrics() { e.metrics = visgraph.Metrics{} }
-
-func (e *Engine) graphOptions() visgraph.Options {
-	return visgraph.Options{UseSweep: e.opts.UseSweep, Metrics: &e.metrics}
-}
-
-// relevantObstacles returns the obstacles whose polygons intersect the disk
-// (center, radius) — the filter (R-tree circle range on MBRs) plus
-// refinement (exact polygon test) steps.
-func (e *Engine) relevantObstacles(center geom.Point, radius float64) ([]visgraph.Obstacle, error) {
-	var out []visgraph.Obstacle
-	err := e.obstacles.tree.SearchCircle(center, radius, func(it rtree.Item) bool {
-		pg := e.obstacles.polys[it.Data]
-		if pg.IntersectsCircle(center, radius) {
-			out = append(out, visgraph.Obstacle{ID: it.Data, Poly: pg})
-		}
-		return true
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: obstacle range: %w", err)
-	}
-	return out, nil
-}
-
-// addObstaclesWithin incorporates into g every obstacle intersecting the
-// disk (center, radius) that is not present yet, reporting whether any was
-// added.
-func (e *Engine) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radius float64) (bool, error) {
-	var batch []visgraph.Obstacle
-	err := e.obstacles.tree.SearchCircle(center, radius, func(it rtree.Item) bool {
-		if g.HasObstacle(it.Data) {
-			return true
-		}
-		pg := e.obstacles.polys[it.Data]
-		if pg.IntersectsCircle(center, radius) {
-			batch = append(batch, visgraph.Obstacle{ID: it.Data, Poly: pg})
-		}
-		return true
-	})
-	if err != nil {
-		return false, fmt.Errorf("core: obstacle range: %w", err)
-	}
-	return g.AddObstacles(batch) > 0, nil
-}
+// ResetMetrics zeroes the cumulative work counters.
+func (e *Engine) ResetMetrics() { e.totals.reset() }
 
 // InsideObstacle reports whether p lies strictly inside some obstacle's
-// interior. Such points can reach nothing (every sight line is blocked), so
-// the query algorithms reject them up front instead of letting the range
-// enlargement of Fig 8 escalate to the whole dataset trying to prove
-// unreachability.
+// interior; see Session.InsideObstacle.
 func (e *Engine) InsideObstacle(p geom.Point) (bool, error) {
-	inside := false
-	err := e.obstacles.tree.SearchCircle(p, 0, func(it rtree.Item) bool {
-		if e.obstacles.polys[it.Data].ContainsStrict(p) {
-			inside = true
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return false, fmt.Errorf("core: obstacle point query: %w", err)
-	}
-	return inside, nil
-}
-
-// coverRadius returns a radius from center that covers every obstacle; a
-// search that wide that still finds no path proves unreachability.
-func (e *Engine) coverRadius(center geom.Point) (float64, error) {
-	b, err := e.obstacles.tree.Bounds()
-	if err != nil {
-		return 0, err
-	}
-	if b.IsEmpty() {
-		return 0, nil
-	}
-	return b.MaxDist(center), nil
+	return e.NewSession(context.Background()).InsideObstacle(p)
 }

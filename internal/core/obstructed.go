@@ -24,13 +24,22 @@ import (
 // the range covers every obstacle and no path exists, the distance is +Inf
 // (p is sealed off, a case the paper does not discuss but real data can
 // produce).
-func (e *Engine) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, center geom.Point, searched float64) (float64, error) {
-	cover, err := e.coverRadius(center)
+func (s *Session) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, center geom.Point, searched float64) (float64, error) {
+	cover, err := s.coverRadius(center)
 	if err != nil {
 		return 0, err
 	}
 	for {
+		if err := s.err(); err != nil {
+			return 0, err
+		}
 		d := g.ObstructedDist(np, nq)
+		// A cancellation mid-expansion leaves d unsettled (+Inf); without
+		// this re-check the 'searched >= cover' branch would report a
+		// reachable pair as proven-unreachable with a nil error.
+		if err := s.err(); err != nil {
+			return 0, err
+		}
 		var radius float64
 		if math.IsInf(d, 1) {
 			if searched >= cover {
@@ -51,7 +60,7 @@ func (e *Engine) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, c
 			}
 			radius = d
 		}
-		added, err := e.addObstaclesWithin(g, center, radius)
+		added, err := s.addObstaclesWithin(g, center, radius)
 		if err != nil {
 			return 0, err
 		}
@@ -74,37 +83,48 @@ func (e *Engine) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, c
 // with its length. The path is nil and the length +Inf when b is
 // unreachable. The graph is grown by the same iterative enlargement as
 // ObstructedDistance before the final path is extracted.
-func (e *Engine) ObstructedPath(a, b geom.Point) ([]geom.Point, float64, error) {
+func (s *Session) ObstructedPath(a, b geom.Point) (_ []geom.Point, _ float64, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	st.Candidates = 1
 	for _, p := range [2]geom.Point{a, b} {
-		inside, err := e.InsideObstacle(p)
+		inside, err := s.InsideObstacle(p)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, st, err
 		}
 		if inside {
-			return nil, math.Inf(1), nil
+			st.FalseHits = 1
+			return nil, math.Inf(1), st, nil
 		}
 	}
 	r := a.Dist(b)
-	obs, err := e.relevantObstacles(a, r)
+	obs, err := s.relevantObstacles(a, r)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, st, err
 	}
-	g := visgraph.Build(e.graphOptions(), obs)
+	g := visgraph.Build(s.graphOptions(), obs)
 	na := g.AddTerminal(a)
 	nb := g.AddTerminal(b)
-	d, err := e.obstructedDistance(g, nb, na, a, r)
+	st.DistComputations = 1
+	d, err := s.obstructedDistance(g, nb, na, a, r)
+	st.GraphNodes, st.GraphEdges = g.NumNodes(), g.NumEdges()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, st, err
 	}
 	if math.IsInf(d, 1) {
-		return nil, d, nil
+		st.FalseHits = 1
+		return nil, d, st, nil
 	}
+	st.Results = 1
 	nodes, dist := g.ShortestPath(na, nb)
+	if err := s.err(); err != nil {
+		return nil, 0, st, err
+	}
 	path := make([]geom.Point, len(nodes))
 	for i, n := range nodes {
 		path[i] = g.Point(n)
 	}
-	return path, dist, nil
+	return path, dist, st, nil
 }
 
 // ObstructedDistance computes dO(a, b) from scratch: it builds a local
@@ -112,23 +132,35 @@ func (e *Engine) ObstructedPath(a, b geom.Point) ([]geom.Point, float64, error) 
 // a (as in Fig 7) and runs the iterative enlargement. It returns +Inf when b
 // is unreachable from a, including when either point lies strictly inside an
 // obstacle.
-func (e *Engine) ObstructedDistance(a, b geom.Point) (float64, error) {
+func (s *Session) ObstructedDistance(a, b geom.Point) (_ float64, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	st.Candidates = 1
 	for _, p := range [2]geom.Point{a, b} {
-		inside, err := e.InsideObstacle(p)
+		inside, err := s.InsideObstacle(p)
 		if err != nil {
-			return 0, err
+			return 0, st, err
 		}
 		if inside {
-			return math.Inf(1), nil
+			st.FalseHits = 1
+			return math.Inf(1), st, nil
 		}
 	}
 	r := a.Dist(b)
-	obs, err := e.relevantObstacles(a, r)
+	obs, err := s.relevantObstacles(a, r)
 	if err != nil {
-		return 0, err
+		return 0, st, err
 	}
-	g := visgraph.Build(e.graphOptions(), obs)
+	g := visgraph.Build(s.graphOptions(), obs)
 	na := g.AddTerminal(a)
 	nb := g.AddTerminal(b)
-	return e.obstructedDistance(g, nb, na, a, r)
+	st.DistComputations = 1
+	d, err := s.obstructedDistance(g, nb, na, a, r)
+	st.GraphNodes, st.GraphEdges = g.NumNodes(), g.NumEdges()
+	if err == nil && !math.IsInf(d, 1) {
+		st.Results = 1
+	} else if err == nil {
+		st.FalseHits = 1
+	}
+	return d, st, err
 }

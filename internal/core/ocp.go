@@ -14,16 +14,20 @@ import (
 // sorted by it. Euclidean pairs are retrieved incrementally [HS98, CMTV00];
 // each has its obstructed distance evaluated, and retrieval stops once the
 // next Euclidean pair distance exceeds the k-th obstructed distance.
-func (e *Engine) ClosestPairs(S, T *PointSet, k int) ([]JoinPair, Stats, error) {
-	var st Stats
+func (s *Session) ClosestPairs(S, T *PointSet, k int) (_ []JoinPair, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
 	if k <= 0 || S.Len() == 0 || T.Len() == 0 {
 		return nil, st, nil
 	}
-	it, err := rtree.NewClosestPairIterator(S.tree, T.tree)
+	if err := s.err(); err != nil {
+		return nil, st, err
+	}
+	it, err := rtree.NewClosestPairIterator(s.pointTree(S), s.pointTree(T))
 	if err != nil {
 		return nil, st, err
 	}
-	cache := newPairDistCache(e)
+	cache := newPairDistCache(s)
 	R := make([]JoinPair, 0, k)
 	// Seed with the first k Euclidean pairs.
 	for len(R) < k {
@@ -47,6 +51,9 @@ func (e *Engine) ClosestPairs(S, T *PointSet, k int) ([]JoinPair, Stats, error) 
 	sortPairs(R)
 	dEmax := R[len(R)-1].Dist
 	for {
+		if err := s.err(); err != nil {
+			return nil, st, err
+		}
 		pr, ok := it.Next()
 		if !ok {
 			if err := it.Err(); err != nil {
@@ -77,9 +84,9 @@ func (e *Engine) ClosestPairs(S, T *PointSet, k int) ([]JoinPair, Stats, error) 
 // incremental closest-pair stream frequently repeats one endpoint in
 // consecutive pairs, so the visibility graph around the most recent s-side
 // point is kept and reused (including any obstacles the iterative
-// enlargement pulled in).
+// enlargement pulled in). The cache is per-call state, owned by one session.
 type pairDistCache struct {
-	e        *Engine
+	s        *Session
 	seedPt   geom.Point
 	valid    bool
 	g        *visgraph.Graph
@@ -89,36 +96,36 @@ type pairDistCache struct {
 	maxEdges int
 }
 
-func newPairDistCache(e *Engine) *pairDistCache {
-	return &pairDistCache{e: e}
+func newPairDistCache(s *Session) *pairDistCache {
+	return &pairDistCache{s: s}
 }
 
 func (c *pairDistCache) distance(pr rtree.PairNeighbor, st *Stats) (float64, error) {
-	s := pr.A.Rect.Center()
+	sp := pr.A.Rect.Center()
 	t := pr.B.Rect.Center()
 	// Endpoints sealed inside an obstacle reach nothing; skip the range
 	// enlargement that would otherwise scan the whole obstacle dataset.
-	for _, p := range [2]geom.Point{s, t} {
-		if inside, err := c.e.InsideObstacle(p); err != nil {
+	for _, p := range [2]geom.Point{sp, t} {
+		if inside, err := c.s.InsideObstacle(p); err != nil {
 			return 0, err
 		} else if inside {
 			return math.Inf(1), nil
 		}
 	}
-	if !c.valid || !c.seedPt.Eq(s) {
-		obs, err := c.e.relevantObstacles(s, s.Dist(t))
+	if !c.valid || !c.seedPt.Eq(sp) {
+		obs, err := c.s.relevantObstacles(sp, sp.Dist(t))
 		if err != nil {
 			return 0, err
 		}
-		c.g = visgraph.Build(c.e.graphOptions(), obs)
-		c.ns = c.g.AddTerminal(s)
-		c.seedPt = s
-		c.searched = s.Dist(t)
+		c.g = visgraph.Build(c.s.graphOptions(), obs)
+		c.ns = c.g.AddTerminal(sp)
+		c.seedPt = sp
+		c.searched = sp.Dist(t)
 		c.valid = true
 	}
 	st.DistComputations++
 	nt := c.g.AddTerminal(t)
-	d, err := c.e.obstructedDistance(c.g, nt, c.ns, s, c.searched)
+	d, err := c.s.obstructedDistance(c.g, nt, c.ns, sp, c.searched)
 	c.g.DeleteEntity(nt)
 	if err != nil {
 		return 0, err
@@ -137,7 +144,7 @@ func (c *pairDistCache) distance(pr rtree.PairNeighbor, st *Stats) (float64, err
 // its obstructed distance is at most the Euclidean distance of the last pair
 // retrieved, since every future pair has dO >= dE.
 type CPIterator struct {
-	e       *Engine
+	s       *Session
 	src     *rtree.CPIterator
 	srcDone bool
 	last    float64
@@ -145,6 +152,7 @@ type CPIterator struct {
 	ready   pairHeap
 	err     error
 	stats   Stats
+	snap    workSnap
 }
 
 type pairHeap []JoinPair
@@ -169,19 +177,25 @@ func (h *pairHeap) Pop() interface{} {
 	return x
 }
 
-// ClosestPairIterator starts an incremental obstructed closest-pair search.
-func (e *Engine) ClosestPairIterator(S, T *PointSet) (*CPIterator, error) {
-	src, err := rtree.NewClosestPairIterator(S.tree, T.tree)
+// ClosestPairIterator starts an incremental obstructed closest-pair search
+// on the session. The iterator inherits the session's context.
+func (s *Session) ClosestPairIterator(S, T *PointSet) (*CPIterator, error) {
+	w := s.snap()
+	src, err := rtree.NewClosestPairIterator(s.pointTree(S), s.pointTree(T))
 	if err != nil {
 		return nil, err
 	}
-	return &CPIterator{e: e, src: src, cache: newPairDistCache(e)}, nil
+	return &CPIterator{s: s, src: src, cache: newPairDistCache(s), snap: w}, nil
 }
 
 // Next returns the next pair by obstructed distance. ok is false when the
 // pairs are exhausted or an error occurred (check Err).
 func (it *CPIterator) Next() (JoinPair, bool) {
 	for it.err == nil {
+		if err := it.s.err(); err != nil {
+			it.fail(err)
+			return JoinPair{}, false
+		}
 		if len(it.ready) > 0 && (it.srcDone || it.ready[0].Dist <= it.last) {
 			return heap.Pop(&it.ready).(JoinPair), true
 		}
@@ -191,17 +205,18 @@ func (it *CPIterator) Next() (JoinPair, bool) {
 		pr, ok := it.src.Next()
 		if !ok {
 			if err := it.src.Err(); err != nil {
-				it.err = err
+				it.fail(err)
 				return JoinPair{}, false
 			}
 			it.srcDone = true
+			it.finish()
 			continue
 		}
 		it.last = pr.Dist
 		it.stats.Candidates++
 		d, err := it.cache.distance(pr, &it.stats)
 		if err != nil {
-			it.err = err
+			it.fail(err)
 			return JoinPair{}, false
 		}
 		heap.Push(&it.ready, JoinPair{SID: pr.A.Data, TID: pr.B.Data, Dist: d})
@@ -209,8 +224,30 @@ func (it *CPIterator) Next() (JoinPair, bool) {
 	return JoinPair{}, false
 }
 
+func (it *CPIterator) fail(err error) {
+	it.err = err
+	it.finish()
+}
+
+// finish folds the iterator's work into its stats and the engine totals;
+// idempotent (delta-based).
+func (it *CPIterator) finish() {
+	if it.cache.maxNodes > it.stats.GraphNodes {
+		it.stats.GraphNodes, it.stats.GraphEdges = it.cache.maxNodes, it.cache.maxEdges
+	}
+	it.s.finishCall(&it.stats, it.snap)
+	it.snap = it.s.snap()
+}
+
+// Stop releases the iterator's accounting early, publishing its work to the
+// engine totals. Optional: exhausting the iterator does the same.
+func (it *CPIterator) Stop() { it.finish() }
+
 // Err returns the first error encountered, if any.
 func (it *CPIterator) Err() error { return it.err }
 
 // Stats returns the work counters accumulated so far.
-func (it *CPIterator) Stats() Stats { return it.stats }
+func (it *CPIterator) Stats() Stats {
+	it.finish()
+	return it.stats
+}

@@ -16,13 +16,17 @@ import (
 // visibility graph and eliminates its partners' false hits with an OR-style
 // expansion. Seeds are processed in Hilbert order to maximize buffer
 // locality across consecutive obstacle-R-tree probes.
-func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, error) {
-	var st Stats
+func (s *Session) DistanceJoin(S, T *PointSet, dist float64) (_ []JoinPair, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	if err := s.err(); err != nil {
+		return nil, st, err
+	}
 	// Step 1: Euclidean e-distance join (no false misses).
 	partnersS := make(map[int64][]int64) // s id -> t ids
 	partnersT := make(map[int64][]int64) // t id -> s ids
 	pairCount := 0
-	err := rtree.JoinDistance(S.tree, T.tree, dist, func(a, b rtree.Item) bool {
+	err := rtree.JoinDistance(s.pointTree(S), s.pointTree(T), dist, func(a, b rtree.Item) bool {
 		partnersS[a.Data] = append(partnersS[a.Data], b.Data)
 		partnersT[b.Data] = append(partnersT[b.Data], a.Data)
 		pairCount++
@@ -52,10 +56,10 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 	}
 	// Step 3: Hilbert ordering of the seeds (disabled by the
 	// NoHilbertSeeds option for the seed-ordering ablation).
-	if e.opts.NoHilbertSeeds {
+	if s.e.opts.NoHilbertSeeds {
 		sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
 	} else {
-		bounds, err := seedSet.tree.Bounds()
+		bounds, err := s.pointTree(seedSet).Bounds()
 		if err != nil {
 			return nil, st, err
 		}
@@ -77,13 +81,16 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 	// obstacle neighborhoods from scratch.
 	var out []JoinPair
 	for _, seed := range seeds {
+		if err := s.err(); err != nil {
+			return nil, st, err
+		}
 		q := seedSet.Point(seed)
-		if inside, err := e.InsideObstacle(q); err != nil {
+		if inside, err := s.InsideObstacle(q); err != nil {
 			return nil, st, err
 		} else if inside {
 			continue // a buried seed reaches none of its partners
 		}
-		g, cached, err := e.localGraph(q, dist)
+		g, release, err := s.localGraph(q, dist)
 		if err != nil {
 			return nil, st, err
 		}
@@ -107,10 +114,16 @@ func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, 
 			}
 			return len(remaining) > 0
 		})
-		if cached {
+		if release != nil {
+			// A cached graph must return to an obstacles-only state before
+			// the next query can reuse it.
 			for _, n := range added {
 				g.DeleteEntity(n)
 			}
+			release()
+		}
+		if err := s.err(); err != nil {
+			return nil, st, err
 		}
 	}
 	st.Results = len(out)

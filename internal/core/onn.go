@@ -17,15 +17,19 @@ import (
 // visibility graph that grows as needed (Fig 8), and retrieval stops once
 // the next Euclidean distance exceeds the k-th obstructed distance (dEmax),
 // which only shrinks as better neighbors are found.
-func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, Stats, error) {
-	var st Stats
+func (s *Session) NearestNeighbors(P *PointSet, q geom.Point, k int) (_ []Result, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
 	if k <= 0 || P.Len() == 0 {
 		return nil, st, nil
 	}
-	if inside, err := e.InsideObstacle(q); err != nil || inside {
+	if err := s.err(); err != nil {
+		return nil, st, err
+	}
+	if inside, err := s.InsideObstacle(q); err != nil || inside {
 		return nil, st, err // a blocked query point reaches nothing
 	}
-	it := P.tree.NearestIterator(q)
+	it := s.pointTree(P).NearestIterator(q)
 	// Seed with the k Euclidean NNs.
 	var seed []Result
 	var seedMaxE float64
@@ -47,11 +51,11 @@ func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, S
 	}
 	// Build the initial graph with the obstacles within the k-th Euclidean
 	// distance; obstructedDistance enlarges it on demand.
-	obs, err := e.relevantObstacles(q, seedMaxE)
+	obs, err := s.relevantObstacles(q, seedMaxE)
 	if err != nil {
 		return nil, st, err
 	}
-	g := visgraph.Build(e.graphOptions(), obs)
+	g := visgraph.Build(s.graphOptions(), obs)
 	nq := g.AddTerminal(q)
 	searched := seedMaxE
 
@@ -59,14 +63,14 @@ func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, S
 	evaluate := func(id int64, pt geom.Point) (float64, error) {
 		// Entities buried inside obstacles are unreachable; skip the
 		// enlargement loop that would otherwise pull in every obstacle.
-		if inside, err := e.InsideObstacle(pt); err != nil {
+		if inside, err := s.InsideObstacle(pt); err != nil {
 			return 0, err
 		} else if inside {
 			return math.Inf(1), nil
 		}
 		st.DistComputations++
 		np := g.AddTerminal(pt)
-		d, err := e.obstructedDistance(g, np, nq, q, searched)
+		d, err := s.obstructedDistance(g, np, nq, q, searched)
 		g.DeleteEntity(np)
 		if err != nil {
 			return 0, err
@@ -78,12 +82,12 @@ func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, S
 		}
 		return d, nil
 	}
-	for _, s := range seed {
-		d, err := evaluate(s.ID, s.Pt)
+	for _, sd := range seed {
+		d, err := evaluate(sd.ID, sd.Pt)
 		if err != nil {
 			return nil, st, err
 		}
-		R = append(R, Result{ID: s.ID, Pt: s.Pt, Dist: d})
+		R = append(R, Result{ID: sd.ID, Pt: sd.Pt, Dist: d})
 	}
 	sortResults(R)
 	dEmax := R[len(R)-1].Dist
@@ -91,6 +95,9 @@ func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, S
 	// Retrieve further Euclidean neighbors while they can possibly beat the
 	// current k-th obstructed distance.
 	for {
+		if err := s.err(); err != nil {
+			return nil, st, err
+		}
 		nb, ok := it.Next()
 		if !ok {
 			if err := it.Err(); err != nil {
@@ -140,7 +147,7 @@ func sortResults(rs []Result) {
 // its obstructed distance is no larger than the Euclidean distance of the
 // last candidate retrieved, since every future candidate has dO >= dE.
 type NNIterator struct {
-	e        *Engine
+	s        *Session
 	q        geom.Point
 	src      *rtree.NNIterator
 	srcDone  bool
@@ -151,6 +158,7 @@ type NNIterator struct {
 	ready    resultHeap
 	err      error
 	stats    Stats
+	snap     workSnap
 	qChecked bool
 	qInside  bool
 }
@@ -174,15 +182,19 @@ func (h *resultHeap) Pop() interface{} {
 	return x
 }
 
-// NearestIterator starts an incremental obstructed nearest-neighbor search.
-func (e *Engine) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
-	g := visgraph.Build(e.graphOptions(), nil)
+// NearestIterator starts an incremental obstructed nearest-neighbor search
+// on the session. The iterator inherits the session's context: once it is
+// canceled, Next stops and Err reports ctx.Err().
+func (s *Session) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
+	w := s.snap()
+	g := visgraph.Build(s.graphOptions(), nil)
 	return &NNIterator{
-		e:   e,
-		q:   q,
-		src: P.tree.NearestIterator(q),
-		g:   g,
-		nq:  g.AddTerminal(q),
+		s:    s,
+		q:    q,
+		src:  s.pointTree(P).NearestIterator(q),
+		g:    g,
+		nq:   g.AddTerminal(q),
+		snap: w,
 	}
 }
 
@@ -190,6 +202,10 @@ func (e *Engine) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
 // set is exhausted or an error occurred (check Err).
 func (it *NNIterator) Next() (Result, bool) {
 	for it.err == nil {
+		if err := it.s.err(); err != nil {
+			it.fail(err)
+			return Result{}, false
+		}
 		// A buffered result can be emitted once no future Euclidean
 		// candidate (all with dE >= it.last, hence dO >= it.last) can beat
 		// it.
@@ -202,10 +218,11 @@ func (it *NNIterator) Next() (Result, bool) {
 		nb, ok := it.src.Next()
 		if !ok {
 			if err := it.src.Err(); err != nil {
-				it.err = err
+				it.fail(err)
 				return Result{}, false
 			}
 			it.srcDone = true
+			it.finish()
 			continue
 		}
 		it.last = nb.Dist
@@ -213,7 +230,7 @@ func (it *NNIterator) Next() (Result, bool) {
 		it.stats.Candidates++
 		var d float64
 		if blocked, err := it.blockedEndpoint(pt); err != nil {
-			it.err = err
+			it.fail(err)
 			return Result{}, false
 		} else if blocked {
 			d = math.Inf(1)
@@ -221,10 +238,10 @@ func (it *NNIterator) Next() (Result, bool) {
 			it.stats.DistComputations++
 			np := it.g.AddTerminal(pt)
 			var err error
-			d, err = it.e.obstructedDistance(it.g, np, it.nq, it.q, it.searched)
+			d, err = it.s.obstructedDistance(it.g, np, it.nq, it.q, it.searched)
 			it.g.DeleteEntity(np)
 			if err != nil {
-				it.err = err
+				it.fail(err)
 				return Result{}, false
 			}
 			if d > it.searched && !math.IsInf(d, 1) {
@@ -236,11 +253,30 @@ func (it *NNIterator) Next() (Result, bool) {
 	return Result{}, false
 }
 
+func (it *NNIterator) fail(err error) {
+	it.err = err
+	it.finish()
+}
+
+// finish folds the iterator's work into its stats and the engine totals;
+// idempotent (delta-based), called on exhaustion, error, and by Stop.
+func (it *NNIterator) finish() {
+	if n, m := it.g.NumNodes(), it.g.NumEdges(); n > it.stats.GraphNodes {
+		it.stats.GraphNodes, it.stats.GraphEdges = n, m
+	}
+	it.s.finishCall(&it.stats, it.snap)
+	it.snap = it.s.snap()
+}
+
+// Stop releases the iterator's accounting early, publishing its work to the
+// engine totals. Optional: exhausting the iterator does the same.
+func (it *NNIterator) Stop() { it.finish() }
+
 // blockedEndpoint reports whether either the query point or pt is sealed
 // inside an obstacle, making the pair's distance trivially +Inf.
 func (it *NNIterator) blockedEndpoint(pt geom.Point) (bool, error) {
 	if !it.qChecked {
-		inside, err := it.e.InsideObstacle(it.q)
+		inside, err := it.s.InsideObstacle(it.q)
 		if err != nil {
 			return false, err
 		}
@@ -249,11 +285,14 @@ func (it *NNIterator) blockedEndpoint(pt geom.Point) (bool, error) {
 	if it.qInside {
 		return true, nil
 	}
-	return it.e.InsideObstacle(pt)
+	return it.s.InsideObstacle(pt)
 }
 
 // Err returns the first error encountered, if any.
 func (it *NNIterator) Err() error { return it.err }
 
 // Stats returns the work counters accumulated so far.
-func (it *NNIterator) Stats() Stats { return it.stats }
+func (it *NNIterator) Stats() Stats {
+	it.finish()
+	return it.stats
+}

@@ -15,8 +15,12 @@ import (
 // relevant obstacles with two circular range queries, builds one local
 // visibility graph, and refines every candidate with a single Dijkstra
 // expansion around q.
-func (e *Engine) Range(P *PointSet, q geom.Point, radius float64) ([]Result, Stats, error) {
-	var st Stats
+func (s *Session) Range(P *PointSet, q geom.Point, radius float64) (_ []Result, st Stats, _ error) {
+	w := s.snap()
+	defer s.finishCall(&st, w)
+	if err := s.err(); err != nil {
+		return nil, st, err
+	}
 	// Step 1: candidate entities within Euclidean range (no false misses by
 	// the lower-bound property).
 	type cand struct {
@@ -24,7 +28,7 @@ func (e *Engine) Range(P *PointSet, q geom.Point, radius float64) ([]Result, Sta
 		pt geom.Point
 	}
 	var cands []cand
-	err := P.tree.SearchCircle(q, radius, func(it rtree.Item) bool {
+	err := s.pointTree(P).SearchCircle(q, radius, func(it rtree.Item) bool {
 		cands = append(cands, cand{id: it.Data, pt: it.Rect.Center()})
 		return true
 	})
@@ -36,21 +40,21 @@ func (e *Engine) Range(P *PointSet, q geom.Point, radius float64) ([]Result, Sta
 	// influence paths of length <= radius. As in Fig 5, this range query
 	// runs unconditionally (even for an empty candidate set), which is what
 	// keeps the obstacle R-tree I/O independent of |P| in Fig 13.
-	obs, err := e.relevantObstacles(q, radius)
+	obs, err := s.relevantObstacles(q, radius)
 	if err != nil {
 		return nil, st, err
 	}
 	if len(cands) == 0 {
 		return nil, st, nil
 	}
-	if inside, err := e.InsideObstacle(q); err != nil || inside {
+	if inside, err := s.InsideObstacle(q); err != nil || inside {
 		// A blocked query point reaches nothing; all candidates are false
 		// hits.
 		st.FalseHits = st.Candidates
 		return nil, st, err
 	}
 	// Step 3: local visibility graph over obstacles, candidates and q.
-	g := visgraph.Build(e.graphOptions(), obs)
+	g := visgraph.Build(s.graphOptions(), obs)
 	remaining := make(map[visgraph.NodeID]cand, len(cands))
 	for _, c := range cands {
 		remaining[g.AddEntity(c.pt)] = c
@@ -69,6 +73,9 @@ func (e *Engine) Range(P *PointSet, q geom.Point, radius float64) ([]Result, Sta
 		}
 		return len(remaining) > 0
 	})
+	if err := s.err(); err != nil {
+		return nil, st, err
+	}
 	st.Results = len(out)
 	st.FalseHits = st.Candidates - st.Results
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/rtree"
+	"repro/internal/visgraph"
+)
+
+// Session is the per-call mutable state of query execution: the context that
+// can cancel it, the visibility-graph work counters it accrues, and counted
+// R-tree views attributing page I/O to this one query. The Engine itself
+// holds only shared, concurrency-safe state (obstacle data, page buffers,
+// the graph cache), so any number of Sessions may run in parallel against
+// one Engine — one Session per concurrent query.
+//
+// A Session itself is confined to a single goroutine.
+type Session struct {
+	e   *Engine
+	ctx context.Context
+	// met accrues this session's visibility-graph work; graphs the session
+	// builds (and cached graphs while this session holds them) point here.
+	met visgraph.Metrics
+	// io accrues this session's R-tree page traffic across the obstacle
+	// tree and every dataset tree it touches.
+	io pagefile.Stats
+	// merged tracks the met counters already folded into the engine totals,
+	// making mergeTotals idempotent.
+	merged visgraph.Metrics
+	// obstTree is the session's counted view of the obstacle R-tree.
+	obstTree *rtree.Tree
+	// insideMemo caches InsideObstacle answers: inside-ness is a fixed
+	// property of a point, and batch/matrix/clustering jobs re-probe the
+	// same points once per row or neighborhood. Bounded by the points one
+	// job touches (sessions are per-call).
+	insideMemo map[geom.Point]bool
+}
+
+// NewSession starts a query session on the engine. The context governs every
+// query run on the session: once it is canceled or past its deadline, running
+// expansions abort and session methods return ctx.Err().
+func (e *Engine) NewSession(ctx context.Context) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{e: e, ctx: ctx}
+	s.obstTree = e.obstacles.tree.Counted(&s.io)
+	return s
+}
+
+// Context returns the session's context.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// err surfaces the session's cancellation state.
+func (s *Session) err() error { return s.ctx.Err() }
+
+// interrupted is the visgraph.Options.Interrupt hook: it reports whether the
+// session's context is done, polled inside Dijkstra expansions.
+func (s *Session) interrupted() bool { return s.ctx.Err() != nil }
+
+// graphOptions returns the visibility-graph configuration wired to this
+// session's work counters and cancellation.
+func (s *Session) graphOptions() visgraph.Options {
+	return visgraph.Options{UseSweep: s.e.opts.UseSweep, Metrics: &s.met, Interrupt: s.interrupted}
+}
+
+// pointTree returns the session's counted view of a dataset's R-tree.
+func (s *Session) pointTree(P *PointSet) *rtree.Tree {
+	return P.tree.Counted(&s.io)
+}
+
+// EuclideanRange returns the ids of P's entities within Euclidean distance r
+// of center, through the session's counted view (the candidate generator for
+// clustering neighborhoods).
+func (s *Session) EuclideanRange(P *PointSet, center geom.Point, r float64) ([]int64, error) {
+	if err := s.err(); err != nil {
+		return nil, err
+	}
+	var out []int64
+	err := s.pointTree(P).SearchCircle(center, r, func(it rtree.Item) bool {
+		out = append(out, it.Data)
+		return true
+	})
+	return out, err
+}
+
+// workSnap captures the session's counters before a call, so the call can
+// report exact per-call deltas even when one session runs several calls
+// (clustering, iterators).
+type workSnap struct {
+	met visgraph.Metrics
+	io  pagefile.Stats
+}
+
+func (s *Session) snap() workSnap { return workSnap{met: s.met, io: s.io} }
+
+// finishCall folds the work performed since the snapshot into st and
+// publishes the session's counters to the engine totals.
+func (s *Session) finishCall(st *Stats, w workSnap) {
+	st.SettledNodes += s.met.SettledNodes - w.met.SettledNodes
+	st.Expansions += s.met.Expansions - w.met.Expansions
+	st.GraphBuilds += s.met.Builds - w.met.Builds
+	st.IO = st.IO.Add(s.io.Sub(w.io))
+	s.mergeTotals()
+}
+
+// mergeTotals publishes not-yet-published session work to the engine's
+// cumulative counters. Idempotent; called after each one-shot query and when
+// iterators finish.
+func (s *Session) mergeTotals() {
+	d := visgraph.Metrics{
+		SettledNodes: s.met.SettledNodes - s.merged.SettledNodes,
+		Expansions:   s.met.Expansions - s.merged.Expansions,
+		Builds:       s.met.Builds - s.merged.Builds,
+	}
+	s.merged = s.met
+	s.e.totals.add(d)
+}
+
+// Work returns the session's cumulative visibility-graph work and page I/O.
+func (s *Session) Work() (visgraph.Metrics, pagefile.Stats) { return s.met, s.io }
+
+// workTotals is the engine's cumulative work ledger, merged from sessions
+// with atomics so concurrent queries never contend on more than a few adds.
+type workTotals struct {
+	settled, expansions, builds atomic.Uint64
+}
+
+func (t *workTotals) add(m visgraph.Metrics) {
+	if m.SettledNodes != 0 {
+		t.settled.Add(m.SettledNodes)
+	}
+	if m.Expansions != 0 {
+		t.expansions.Add(m.Expansions)
+	}
+	if m.Builds != 0 {
+		t.builds.Add(m.Builds)
+	}
+}
+
+func (t *workTotals) snapshot() visgraph.Metrics {
+	return visgraph.Metrics{
+		SettledNodes: t.settled.Load(),
+		Expansions:   t.expansions.Load(),
+		Builds:       t.builds.Load(),
+	}
+}
+
+func (t *workTotals) reset() {
+	t.settled.Store(0)
+	t.expansions.Store(0)
+	t.builds.Store(0)
+}
+
+// relevantObstacles returns the obstacles whose polygons intersect the disk
+// (center, radius) — the filter (R-tree circle range on MBRs) plus
+// refinement (exact polygon test) steps.
+func (s *Session) relevantObstacles(center geom.Point, radius float64) ([]visgraph.Obstacle, error) {
+	if err := s.err(); err != nil {
+		return nil, err
+	}
+	polys := s.e.obstacles.polys
+	var out []visgraph.Obstacle
+	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
+		pg := polys[it.Data]
+		if pg.IntersectsCircle(center, radius) {
+			out = append(out, visgraph.Obstacle{ID: it.Data, Poly: pg})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: obstacle range: %w", err)
+	}
+	return out, nil
+}
+
+// addObstaclesWithin incorporates into g every obstacle intersecting the
+// disk (center, radius) that is not present yet, reporting whether any was
+// added.
+func (s *Session) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radius float64) (bool, error) {
+	if err := s.err(); err != nil {
+		return false, err
+	}
+	polys := s.e.obstacles.polys
+	var batch []visgraph.Obstacle
+	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
+		if g.HasObstacle(it.Data) {
+			return true
+		}
+		pg := polys[it.Data]
+		if pg.IntersectsCircle(center, radius) {
+			batch = append(batch, visgraph.Obstacle{ID: it.Data, Poly: pg})
+		}
+		return true
+	})
+	if err != nil {
+		return false, fmt.Errorf("core: obstacle range: %w", err)
+	}
+	return g.AddObstacles(batch) > 0, nil
+}
+
+// InsideObstacle reports whether p lies strictly inside some obstacle's
+// interior, through the session's counted view. Such points can reach
+// nothing, so the query algorithms reject them up front instead of letting
+// the range enlargement of Fig 8 escalate to the whole dataset trying to
+// prove unreachability. Answers are memoized per session: matrix and
+// clustering jobs probe the same points once per row or neighborhood.
+func (s *Session) InsideObstacle(p geom.Point) (bool, error) {
+	if err := s.err(); err != nil {
+		return false, err
+	}
+	if inside, ok := s.insideMemo[p]; ok {
+		return inside, nil
+	}
+	polys := s.e.obstacles.polys
+	inside := false
+	err := s.obstTree.SearchCircle(p, 0, func(it rtree.Item) bool {
+		if polys[it.Data].ContainsStrict(p) {
+			inside = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, fmt.Errorf("core: obstacle point query: %w", err)
+	}
+	if s.insideMemo == nil {
+		s.insideMemo = make(map[geom.Point]bool)
+	}
+	s.insideMemo[p] = inside
+	return inside, nil
+}
+
+// coverRadius returns a radius from center that covers every obstacle; a
+// search that wide that still finds no path proves unreachability.
+func (s *Session) coverRadius(center geom.Point) (float64, error) {
+	b, err := s.obstTree.Bounds()
+	if err != nil {
+		return 0, err
+	}
+	if b.IsEmpty() {
+		return 0, nil
+	}
+	return b.MaxDist(center), nil
+}
+
+// The Engine methods below are single-call conveniences: each runs the query
+// on a fresh background-context session. Callers that need cancellation or
+// per-query I/O attribution use NewSession directly.
+
+// Range answers an obstacle range query (OR, Fig 5); see Session.Range.
+func (e *Engine) Range(P *PointSet, q geom.Point, radius float64) ([]Result, Stats, error) {
+	return e.NewSession(context.Background()).Range(P, q, radius)
+}
+
+// NearestNeighbors answers an obstacle k-nearest-neighbor query (ONN,
+// Fig 9); see Session.NearestNeighbors.
+func (e *Engine) NearestNeighbors(P *PointSet, q geom.Point, k int) ([]Result, Stats, error) {
+	return e.NewSession(context.Background()).NearestNeighbors(P, q, k)
+}
+
+// DistanceJoin answers an obstacle e-distance join (ODJ, Fig 10); see
+// Session.DistanceJoin.
+func (e *Engine) DistanceJoin(S, T *PointSet, dist float64) ([]JoinPair, Stats, error) {
+	return e.NewSession(context.Background()).DistanceJoin(S, T, dist)
+}
+
+// ClosestPairs answers an obstacle closest-pair query (OCP, Fig 11); see
+// Session.ClosestPairs.
+func (e *Engine) ClosestPairs(S, T *PointSet, k int) ([]JoinPair, Stats, error) {
+	return e.NewSession(context.Background()).ClosestPairs(S, T, k)
+}
+
+// ObstructedDistance computes dO(a, b); see Session.ObstructedDistance.
+func (e *Engine) ObstructedDistance(a, b geom.Point) (float64, error) {
+	d, _, err := e.NewSession(context.Background()).ObstructedDistance(a, b)
+	return d, err
+}
+
+// ObstructedPath returns a shortest obstacle-avoiding route; see
+// Session.ObstructedPath.
+func (e *Engine) ObstructedPath(a, b geom.Point) ([]geom.Point, float64, error) {
+	path, d, _, err := e.NewSession(context.Background()).ObstructedPath(a, b)
+	return path, d, err
+}
+
+// BatchDistances computes obstructed distances from source to every target;
+// see Session.BatchDistances.
+func (e *Engine) BatchDistances(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
+	return e.NewSession(context.Background()).BatchDistances(source, targets)
+}
+
+// DistanceMatrix computes the full pairwise obstructed-distance matrix; see
+// Session.DistanceMatrix.
+func (e *Engine) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
+	return e.NewSession(context.Background()).DistanceMatrix(pts)
+}
+
+// NearestIterator starts an incremental obstructed nearest-neighbor search;
+// see Session.NearestIterator.
+func (e *Engine) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
+	return e.NewSession(context.Background()).NearestIterator(P, q)
+}
+
+// ClosestPairIterator starts an incremental obstructed closest-pair search;
+// see Session.ClosestPairIterator.
+func (e *Engine) ClosestPairIterator(S, T *PointSet) (*CPIterator, error) {
+	return e.NewSession(context.Background()).ClosestPairIterator(S, T)
+}

@@ -12,6 +12,7 @@ package pagefile
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageID identifies a page in a File. Zero is never a valid page.
@@ -152,9 +153,15 @@ type frame struct {
 	next  *frame
 }
 
-// File is a page file with an LRU buffer pool. It is not safe for concurrent
-// use; the query algorithms are single-threaded, as in the paper.
+// File is a page file with an LRU buffer pool. All operations are guarded by
+// one mutex, so any number of goroutines may read concurrently — parallel
+// queries share the warm buffer instead of corrupting the LRU chain. A slice
+// returned by Read stays stable under concurrent reads (frames are never
+// recycled for another page), but writers must not race readers of the same
+// page; the query engine only writes while building trees, before queries
+// start.
 type File struct {
+	mu       sync.Mutex
 	st       Storage
 	capacity int // buffer capacity in pages (>= 1)
 	frames   map[PageID]*frame
@@ -180,23 +187,45 @@ func NewWithStorage(st Storage, bufferPages int) *File {
 func (f *File) PageSize() int { return f.st.PageSize() }
 
 // NumPages returns the number of allocated pages.
-func (f *File) NumPages() int { return f.st.NumPages() }
+func (f *File) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.NumPages()
+}
 
 // BufferPages returns the buffer pool capacity in pages.
-func (f *File) BufferPages() int { return f.capacity }
+func (f *File) BufferPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.capacity
+}
 
 // Stats returns the accumulated counters.
-func (f *File) Stats() Stats { return f.stats }
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
 
 // ResetStats zeroes the counters (the buffer contents are kept, modelling a
 // warm buffer across a query workload as in the paper).
-func (f *File) ResetStats() { f.stats = Stats{} }
+func (f *File) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = Stats{}
+}
 
 // Allocate reserves a new zeroed page.
-func (f *File) Allocate() (PageID, error) { return f.st.Allocate() }
+func (f *File) Allocate() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.Allocate()
+}
 
 // Free drops a page from the buffer and releases it in storage.
 func (f *File) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if fr, ok := f.frames[id]; ok {
 		f.unlink(fr)
 		delete(f.frames, id)
@@ -205,16 +234,36 @@ func (f *File) Free(id PageID) error {
 }
 
 // Read returns the contents of a page. The returned slice aliases the buffer
-// frame and is valid only until the next File operation; callers must copy
-// or fully consume it first.
+// frame; it stays valid under concurrent reads and evictions (frames are not
+// recycled), but a Write to the same page would race it — consume the slice
+// before writing.
 func (f *File) Read(id PageID) ([]byte, error) {
+	return f.ReadCounted(id, nil)
+}
+
+// ReadCounted is Read with an optional per-query accumulator: when extra is
+// non-nil the read is additionally counted there, attributing I/O to the one
+// query that issued it even while other queries hammer the same file. The
+// accumulator must not be shared between goroutines.
+func (f *File) ReadCounted(id PageID, extra *Stats) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.stats.LogicalReads++
+	if extra != nil {
+		extra.LogicalReads++
+	}
 	if fr, ok := f.frames[id]; ok {
 		f.stats.BufferHits++
+		if extra != nil {
+			extra.BufferHits++
+		}
 		f.touch(fr)
 		return fr.data, nil
 	}
 	f.stats.PhysicalReads++
+	if extra != nil {
+		extra.PhysicalReads++
+	}
 	fr, err := f.admit(id)
 	if err != nil {
 		return nil, err
@@ -230,8 +279,10 @@ func (f *File) Read(id PageID) ([]byte, error) {
 // Write replaces the contents of a page. The page becomes dirty in the
 // buffer and reaches storage on eviction or Flush.
 func (f *File) Write(id PageID, data []byte) error {
-	if len(data) != f.PageSize() {
-		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), f.PageSize())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(data) != f.st.PageSize() {
+		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), f.st.PageSize())
 	}
 	f.stats.LogicalWrites++
 	fr, ok := f.frames[id]
@@ -251,6 +302,8 @@ func (f *File) Write(id PageID, data []byte) error {
 
 // Flush writes back all dirty pages.
 func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for _, fr := range f.frames {
 		if fr.dirty {
 			if err := f.writeBack(fr); err != nil {
@@ -265,6 +318,8 @@ func (f *File) Flush() error {
 // The experiments use this to size the buffer at 10% of each R-tree after
 // the tree is built.
 func (f *File) SetBufferPages(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if n < 1 {
 		n = 1
 	}
@@ -280,6 +335,8 @@ func (f *File) SetBufferPages(n int) error {
 // DropBuffer evicts everything (writing back dirty pages), simulating a cold
 // start.
 func (f *File) DropBuffer() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	for len(f.frames) > 0 {
 		if err := f.evict(); err != nil {
 			return err

@@ -103,7 +103,10 @@ func (n *node) mbr() geom.Rect {
 	return r
 }
 
-// Tree is a disk-resident R*-tree. It is not safe for concurrent use.
+// Tree is a disk-resident R*-tree. A fully built tree is safe for any number
+// of concurrent readers (the page file serializes buffer traffic); mutation
+// (Insert, Delete) must not run concurrently with anything else on the same
+// tree.
 type Tree struct {
 	pf       *pagefile.File
 	opts     Options
@@ -114,6 +117,19 @@ type Tree struct {
 	minE     int
 	pending  []pendingInsert // forced-reinsert / condense work queue
 	reinsLvl map[uint16]bool // levels already reinserted during this insert
+	// ioExtra, when non-nil, additionally receives every page-read counter
+	// of this handle — the per-query attribution hook behind Counted.
+	ioExtra *pagefile.Stats
+}
+
+// Counted returns a read-only view of the tree whose page reads are
+// additionally counted into extra, attributing I/O to one query while the
+// shared buffer keeps serving everyone. The view shares all pages and the
+// buffer with the original; extra must be confined to a single goroutine.
+func (t *Tree) Counted(extra *pagefile.Stats) *Tree {
+	cp := *t
+	cp.ioExtra = extra
+	return &cp
 }
 
 type pendingInsert struct {
@@ -187,7 +203,7 @@ func (t *Tree) Bounds() (geom.Rect, error) {
 
 // readNode deserializes the node stored on page id.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
-	p, err := t.pf.Read(id)
+	p, err := t.pf.ReadCounted(id, t.ioExtra)
 	if err != nil {
 		return nil, fmt.Errorf("rtree: read node %d: %w", id, err)
 	}

@@ -25,12 +25,19 @@ func (q *pq) Pop() interface{} {
 	return x
 }
 
+// interruptEvery is how many settled nodes pass between Interrupt polls: a
+// large enough stride that polling is free, small enough that cancellation
+// lands within microseconds on real graphs.
+const interruptEvery = 64
+
 // Expand runs Dijkstra's algorithm from source, visiting settled nodes in
 // ascending distance order while the distance does not exceed bound. The
 // visit callback returns false to stop the expansion. This is the traversal
 // the OR algorithm uses to refine all candidates with a single expansion
 // around the query point (Fig 5 of the paper); duplicates in the queue are
-// skipped on dequeue, exactly as described there.
+// skipped on dequeue, exactly as described there. When Options.Interrupt
+// fires, the expansion aborts mid-flight; the caller is responsible for
+// noticing (sessions check their context after every expansion).
 func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist float64) bool) {
 	if g.opts.Metrics != nil {
 		g.opts.Metrics.Expansions++
@@ -41,6 +48,7 @@ func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist f
 		best[i] = math.Inf(1)
 	}
 	best[source] = 0
+	sinceCheck := 0
 	q := pq{{node: source, dist: 0}}
 	for len(q) > 0 {
 		it := heap.Pop(&q).(pqItem)
@@ -50,6 +58,12 @@ func (g *Graph) Expand(source NodeID, bound float64, visit func(n NodeID, dist f
 		settled[it.node] = true
 		if g.opts.Metrics != nil {
 			g.opts.Metrics.SettledNodes++
+		}
+		if sinceCheck++; sinceCheck >= interruptEvery {
+			sinceCheck = 0
+			if g.opts.Interrupt != nil && g.opts.Interrupt() {
+				return
+			}
 		}
 		if !visit(it.node, it.dist) {
 			return
@@ -80,6 +94,7 @@ func (g *Graph) ShortestPath(source, target NodeID) ([]NodeID, float64) {
 	parent := make(map[NodeID]NodeID, len(g.nodes))
 	settled := make(map[NodeID]bool, len(g.nodes))
 	dist := make(map[NodeID]float64, len(g.nodes))
+	sinceCheck := 0
 	q := pq{{node: source, dist: 0}}
 	parent[source] = Invalid
 	for len(q) > 0 {
@@ -90,6 +105,12 @@ func (g *Graph) ShortestPath(source, target NodeID) ([]NodeID, float64) {
 		settled[it.node] = true
 		if g.opts.Metrics != nil {
 			g.opts.Metrics.SettledNodes++
+		}
+		if sinceCheck++; sinceCheck >= interruptEvery {
+			sinceCheck = 0
+			if g.opts.Interrupt != nil && g.opts.Interrupt() {
+				return nil, math.Inf(1)
+			}
 		}
 		if it.node == target {
 			var path []NodeID

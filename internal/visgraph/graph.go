@@ -47,10 +47,15 @@ type Options struct {
 	// [SS84]; when false a naive check against every obstacle is used.
 	UseSweep bool
 	// Metrics, when non-nil, accumulates work counters across every graph
-	// built with these options. The engine shares one Metrics across all the
-	// local graphs of its queries, so batch primitives can demonstrate their
-	// savings against per-pair execution.
+	// built with these options. A query session shares one Metrics across
+	// all the local graphs of one query, so batch primitives can demonstrate
+	// their savings against per-pair execution.
 	Metrics *Metrics
+	// Interrupt, when non-nil, is polled during long Dijkstra expansions; a
+	// true return aborts the expansion mid-flight. Query sessions wire it to
+	// their context's cancellation so a canceled query stops promptly
+	// instead of settling the rest of a large graph.
+	Interrupt func() bool
 }
 
 // Metrics accumulates graph work counters. One Metrics may be shared by many
@@ -115,6 +120,16 @@ func New(opts Options) *Graph {
 		obstIDs: make(map[int64]int),
 		edgeSet: make(map[uint64]bool),
 	}
+}
+
+// Retarget rebinds the graph's per-query hooks: subsequent work counts into
+// m (may be nil) and expansions poll interrupt (may be nil). Graphs cached
+// across queries are retargeted to each acquiring query in turn, so work and
+// cancellation attribute to the query actually running, not the one that
+// originally built the graph.
+func (g *Graph) Retarget(m *Metrics, interrupt func() bool) {
+	g.opts.Metrics = m
+	g.opts.Interrupt = interrupt
 }
 
 // Obstacle couples a polygon with the caller's identifier (typically the

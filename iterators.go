@@ -1,23 +1,141 @@
 package obstacles
 
-import "repro/internal/core"
+import (
+	"context"
+	"iter"
+	"time"
 
-// NearestIterator reports entities in ascending order of obstructed distance
-// without a predeclared k — the incremental ONN variant. Useful for complex
+	"repro/internal/core"
+)
+
+// Nearest returns the entities of the dataset in ascending order of
+// obstructed distance from q, without a predeclared k — the incremental ONN
+// variant. The sequence yields (Neighbor, nil) per entity; on failure it
+// yields a final (zero Neighbor, err) and stops. Useful for complex
 // predicates ("closest restaurant that is open") where the qualifying rank
-// is unknown in advance.
+// is unknown in advance:
+//
+//	for nb, err := range db.Nearest(ctx, "restaurants", q) {
+//		if err != nil { ... }
+//		if open(nb.ID) { use(nb); break }
+//	}
+//
+// WithFilter and WithLimit apply in-stream; WithStats is written when the
+// loop ends (break included). Cancelling ctx ends the sequence with
+// ctx.Err().
+func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts ...QueryOption) iter.Seq2[Neighbor, error] {
+	return func(yield func(Neighbor, error) bool) {
+		cfg := applyOptions(opts)
+		start := time.Now()
+		ps, err := db.dataset(dataset)
+		if err != nil {
+			yield(Neighbor{}, err)
+			return
+		}
+		sess := db.engine.NewSession(ctx)
+		it := sess.NearestIterator(ps, q)
+		emitted := 0
+		defer func() {
+			st := it.Stats()
+			st.Results = emitted
+			st.FalseHits = st.Candidates - st.Results
+			cfg.record(sess, st, start)
+		}()
+		for cfg.limit < 0 || emitted < cfg.limit {
+			r, ok := it.Next()
+			if !ok {
+				if err := it.Err(); err != nil {
+					yield(Neighbor{}, err)
+				}
+				return
+			}
+			nb := Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}
+			if cfg.filter != nil && !cfg.filter(nb) {
+				continue
+			}
+			if !yield(nb, nil) {
+				return
+			}
+			emitted++
+		}
+	}
+}
+
+// Closest returns pairs from the two datasets in ascending order of
+// obstructed distance, without a predeclared k — the iOCP algorithm (Fig 12
+// of the paper). The sequence yields (Pair, nil) per pair; on failure it
+// yields a final (zero Pair, err) and stops. Useful for browsing pairs or
+// for constrained closest-pair queries ("closest city/factory pair where
+// the city has over 1M residents"). WithPairFilter and WithLimit apply
+// in-stream; WithStats is written when the loop ends. Cancelling ctx ends
+// the sequence with ctx.Err().
+func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts ...QueryOption) iter.Seq2[Pair, error] {
+	return func(yield func(Pair, error) bool) {
+		cfg := applyOptions(opts)
+		start := time.Now()
+		s, err := db.dataset(dataset1)
+		if err != nil {
+			yield(Pair{}, err)
+			return
+		}
+		t, err := db.dataset(dataset2)
+		if err != nil {
+			yield(Pair{}, err)
+			return
+		}
+		sess := db.engine.NewSession(ctx)
+		it, err := sess.ClosestPairIterator(s, t)
+		if err != nil {
+			yield(Pair{}, err)
+			return
+		}
+		emitted := 0
+		defer func() {
+			st := it.Stats()
+			st.Results = emitted
+			st.FalseHits = st.Candidates - st.Results
+			cfg.record(sess, st, start)
+		}()
+		for cfg.limit < 0 || emitted < cfg.limit {
+			jp, ok := it.Next()
+			if !ok {
+				if err := it.Err(); err != nil {
+					yield(Pair{}, err)
+				}
+				return
+			}
+			p := Pair{ID1: jp.SID, ID2: jp.TID, Distance: jp.Dist}
+			if cfg.pairFilter != nil && !cfg.pairFilter(p) {
+				continue
+			}
+			if !yield(p, nil) {
+				return
+			}
+			emitted++
+		}
+	}
+}
+
+// NearestIterator reports entities in ascending order of obstructed
+// distance without a predeclared k.
+//
+// Deprecated: use Nearest, the range-over-func form. This wrapper drives
+// the same machinery with a background context.
 type NearestIterator struct {
 	inner *core.NNIterator
 }
 
 // NearestIterator starts an incremental nearest-neighbor search on the
 // dataset around q.
+//
+// Deprecated: use Nearest.
 func (db *Database) NearestIterator(dataset string, q Point) (*NearestIterator, error) {
 	ps, err := db.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	return &NearestIterator{inner: db.engine.NearestIterator(ps, q)}, nil
+	sess := db.engine.NewSession(context.Background())
+	return &NearestIterator{inner: sess.NearestIterator(ps, q)}, nil
 }
 
 // Next returns the next entity by obstructed distance; ok is false when the
@@ -33,16 +151,23 @@ func (it *NearestIterator) Next() (Neighbor, bool) {
 // Err returns the first error encountered, if any.
 func (it *NearestIterator) Err() error { return it.inner.Err() }
 
+// Stop publishes an abandoned iterator's work to the engine's cumulative
+// counters; exhausting the iterator does the same automatically.
+func (it *NearestIterator) Stop() { it.inner.Stop() }
+
 // ClosestPairIterator reports pairs in ascending order of obstructed
-// distance without a predeclared k — the iOCP algorithm (Fig 12 of the
-// paper). Useful for browsing pairs or for constrained closest-pair queries
-// ("closest city/factory pair where the city has over 1M residents").
+// distance without a predeclared k.
+//
+// Deprecated: use Closest, the range-over-func form. This wrapper drives
+// the same machinery with a background context.
 type ClosestPairIterator struct {
 	inner *core.CPIterator
 }
 
 // ClosestPairIterator starts an incremental closest-pair search between the
 // two datasets.
+//
+// Deprecated: use Closest.
 func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPairIterator, error) {
 	s, err := db.dataset(dataset1)
 	if err != nil {
@@ -52,7 +177,8 @@ func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPair
 	if err != nil {
 		return nil, err
 	}
-	inner, err := db.engine.ClosestPairIterator(s, t)
+	sess := db.engine.NewSession(context.Background())
+	inner, err := sess.ClosestPairIterator(s, t)
 	if err != nil {
 		return nil, err
 	}
@@ -71,3 +197,7 @@ func (it *ClosestPairIterator) Next() (Pair, bool) {
 
 // Err returns the first error encountered, if any.
 func (it *ClosestPairIterator) Err() error { return it.inner.Err() }
+
+// Stop publishes an abandoned iterator's work to the engine's cumulative
+// counters; exhausting the iterator does the same automatically.
+func (it *ClosestPairIterator) Stop() { it.inner.Stop() }

@@ -1,9 +1,12 @@
 package obstacles
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pagefile"
@@ -29,6 +32,8 @@ type Options struct {
 	// GraphCacheSize is the number of expanded visibility-graph states the
 	// engine retains for reuse across batch-distance queries, clustering
 	// neighborhoods and join seeds (default 8; negative disables caching).
+	// Concurrent queries on overlapping regions serialize on the shared
+	// cached graph; disjoint regions run fully in parallel.
 	GraphCacheSize int
 }
 
@@ -80,7 +85,9 @@ type Pair struct {
 // poisoning a cluster's cost.
 var Unreachable = math.Inf(1)
 
-// TreeStats reports page-level I/O counters of one R-tree.
+// TreeStats reports page-level I/O counters of one R-tree. The counters are
+// process-global and shared by all queries; prefer WithStats for per-query
+// measurement under concurrency.
 type TreeStats struct {
 	// PageAccesses counts reads that missed the LRU buffer — the metric the
 	// paper's experiments plot.
@@ -95,11 +102,18 @@ type TreeStats struct {
 
 // Database holds one obstacle set and any number of named point datasets,
 // all indexed by R*-trees over simulated disk pages with LRU buffers. It is
-// not safe for concurrent use.
+// safe for concurrent use: any number of goroutines may query it in
+// parallel (sharing the warm page buffers and the visibility-graph cache),
+// and AddDataset may run alongside queries on other datasets. Every query
+// verb takes a context whose cancellation aborts the query promptly with
+// ctx.Err(), and accepts functional options (WithStats, WithLimit,
+// WithFilter, WithPairFilter).
 type Database struct {
-	opts     Options
-	engine   *core.Engine
-	obstSet  *core.ObstacleSet
+	opts    Options
+	engine  *core.Engine
+	obstSet *core.ObstacleSet
+
+	mu       sync.RWMutex
 	datasets map[string]*core.PointSet
 }
 
@@ -148,22 +162,36 @@ func sizeBuffer(t *rtree.Tree, fraction float64) {
 	_ = t.PageFile().SetBufferPages(pages)
 }
 
-// AddDataset indexes a named point dataset. Entity i gets ID int64(i).
+// AddDataset indexes a named point dataset. Entity i gets ID int64(i). The
+// dataset becomes visible to queries atomically once indexing completes;
+// queries on other datasets proceed concurrently.
 func (db *Database) AddDataset(name string, pts []Point) error {
-	if _, ok := db.datasets[name]; ok {
+	db.mu.RLock()
+	_, exists := db.datasets[name]
+	db.mu.RUnlock()
+	if exists {
 		return fmt.Errorf("obstacles: dataset %q already exists", name)
 	}
+	// Build outside the lock: indexing thousands of points must not stall
+	// concurrent readers.
 	ps, err := core.NewPointSet(db.opts.treeOptions(), pts, !db.opts.InsertLoad)
 	if err != nil {
 		return fmt.Errorf("obstacles: building dataset %q: %w", name, err)
 	}
 	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.datasets[name]; exists {
+		return fmt.Errorf("obstacles: dataset %q already exists", name)
+	}
 	db.datasets[name] = ps
 	return nil
 }
 
 // Datasets returns the names of the datasets added so far, sorted.
 func (db *Database) Datasets() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.datasets))
 	for n := range db.datasets {
 		names = append(names, n)
@@ -175,15 +203,27 @@ func (db *Database) Datasets() []string {
 // NumObstacles returns the obstacle count.
 func (db *Database) NumObstacles() int { return db.obstSet.Len() }
 
-// DatasetLen returns the number of entities in a dataset (0 if absent).
-func (db *Database) DatasetLen(name string) int {
-	if ps, ok := db.datasets[name]; ok {
-		return ps.Len()
+// HasDataset reports whether a dataset with the given name exists.
+func (db *Database) HasDataset(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.datasets[name]
+	return ok
+}
+
+// DatasetLen returns the number of entities in a dataset. Unlike the old
+// API, an unknown name is an error rather than a silent zero.
+func (db *Database) DatasetLen(name string) (int, error) {
+	ps, err := db.dataset(name)
+	if err != nil {
+		return 0, err
 	}
-	return 0
+	return ps.Len(), nil
 }
 
 func (db *Database) dataset(name string) (*core.PointSet, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ps, ok := db.datasets[name]
 	if !ok {
 		return nil, fmt.Errorf("obstacles: unknown dataset %q", name)
@@ -193,36 +233,84 @@ func (db *Database) dataset(name string) (*core.PointSet, error) {
 
 // Range returns all entities of the dataset within obstructed distance
 // radius of q, sorted by distance (the OR algorithm of the paper).
-func (db *Database) Range(dataset string, q Point, radius float64) ([]Neighbor, error) {
+func (db *Database) Range(ctx context.Context, dataset string, q Point, radius float64, opts ...QueryOption) ([]Neighbor, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
 	ps, err := db.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.engine.Range(ps, q, radius)
+	sess := db.engine.NewSession(ctx)
+	res, st, err := sess.Range(ps, q, radius)
+	cfg.record(sess, st, start)
 	if err != nil {
 		return nil, err
 	}
-	return toNeighbors(res), nil
+	return cfg.applyNeighborOpts(toNeighbors(res)), nil
 }
 
 // NearestNeighbors returns the k entities of the dataset with the smallest
-// obstructed distance from q, sorted by it (the ONN algorithm).
-func (db *Database) NearestNeighbors(dataset string, q Point, k int) ([]Neighbor, error) {
+// obstructed distance from q, sorted by it (the ONN algorithm). With
+// WithFilter, the k closest entities satisfying the predicate are found by
+// consuming the incremental stream instead.
+func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Point, k int, opts ...QueryOption) ([]Neighbor, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
 	ps, err := db.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.engine.NearestNeighbors(ps, q, k)
-	if err != nil {
+	if cfg.limit >= 0 && cfg.limit < k {
+		k = cfg.limit
+	}
+	sess := db.engine.NewSession(ctx)
+	if cfg.filter == nil {
+		res, st, err := sess.NearestNeighbors(ps, q, k)
+		cfg.record(sess, st, start)
+		if err != nil {
+			return nil, err
+		}
+		return toNeighbors(res), nil
+	}
+	// Filtered kNN: the rank of the k-th qualifying entity is unknown, so
+	// stream the incremental ONN and keep the first k that qualify. A
+	// blocked query point returns no neighbors, exactly like the
+	// unfiltered path (the stream would otherwise drain every entity at
+	// distance Unreachable).
+	if inside, err := sess.InsideObstacle(q); err != nil {
+		return nil, err
+	} else if inside {
+		cfg.record(sess, core.Stats{Candidates: 0}, start)
+		return nil, nil
+	}
+	it := sess.NearestIterator(ps, q)
+	var out []Neighbor
+	for len(out) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		nb := Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}
+		if cfg.filter(nb) {
+			out = append(out, nb)
+		}
+	}
+	st := it.Stats()
+	st.Results = len(out)
+	st.FalseHits = st.Candidates - st.Results
+	cfg.record(sess, st, start)
+	if err := it.Err(); err != nil {
 		return nil, err
 	}
-	return toNeighbors(res), nil
+	return out, nil
 }
 
 // DistanceJoin returns all pairs (s, t) from the two datasets within
 // obstructed distance dist of each other, sorted by distance (the ODJ
 // algorithm).
-func (db *Database) DistanceJoin(dataset1, dataset2 string, dist float64) ([]Pair, error) {
+func (db *Database) DistanceJoin(ctx context.Context, dataset1, dataset2 string, dist float64, opts ...QueryOption) ([]Pair, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
 	s, err := db.dataset(dataset1)
 	if err != nil {
 		return nil, err
@@ -231,16 +319,22 @@ func (db *Database) DistanceJoin(dataset1, dataset2 string, dist float64) ([]Pai
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.engine.DistanceJoin(s, t, dist)
+	sess := db.engine.NewSession(ctx)
+	res, st, err := sess.DistanceJoin(s, t, dist)
+	cfg.record(sess, st, start)
 	if err != nil {
 		return nil, err
 	}
-	return toPairs(res), nil
+	return cfg.applyPairOpts(toPairs(res)), nil
 }
 
 // ClosestPairs returns the k pairs from the two datasets with the smallest
-// obstructed distance, sorted by it (the OCP algorithm).
-func (db *Database) ClosestPairs(dataset1, dataset2 string, k int) ([]Pair, error) {
+// obstructed distance, sorted by it (the OCP algorithm). With
+// WithPairFilter, the k closest qualifying pairs are found by consuming the
+// incremental iOCP stream instead.
+func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string, k int, opts ...QueryOption) ([]Pair, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
 	s, err := db.dataset(dataset1)
 	if err != nil {
 		return nil, err
@@ -249,25 +343,65 @@ func (db *Database) ClosestPairs(dataset1, dataset2 string, k int) ([]Pair, erro
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.engine.ClosestPairs(s, t, k)
+	if cfg.limit >= 0 && cfg.limit < k {
+		k = cfg.limit
+	}
+	sess := db.engine.NewSession(ctx)
+	if cfg.pairFilter == nil {
+		res, st, err := sess.ClosestPairs(s, t, k)
+		cfg.record(sess, st, start)
+		if err != nil {
+			return nil, err
+		}
+		return toPairs(res), nil
+	}
+	it, err := sess.ClosestPairIterator(s, t)
 	if err != nil {
 		return nil, err
 	}
-	return toPairs(res), nil
+	var out []Pair
+	for len(out) < k {
+		jp, ok := it.Next()
+		if !ok {
+			break
+		}
+		p := Pair{ID1: jp.SID, ID2: jp.TID, Distance: jp.Dist}
+		if cfg.pairFilter(p) {
+			out = append(out, p)
+		}
+	}
+	st := it.Stats()
+	st.Results = len(out)
+	st.FalseHits = st.Candidates - st.Results
+	cfg.record(sess, st, start)
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ObstructedDistance returns the length of the shortest obstacle-avoiding
 // path from a to b (Unreachable when none exists).
-func (db *Database) ObstructedDistance(a, b Point) (float64, error) {
-	return db.engine.ObstructedDistance(a, b)
+func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...QueryOption) (float64, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
+	sess := db.engine.NewSession(ctx)
+	d, st, err := sess.ObstructedDistance(a, b)
+	cfg.record(sess, st, start)
+	return d, err
 }
 
 // ObstructedPath returns a shortest obstacle-avoiding route from a to b as
 // a sequence of waypoints (a first, b last, bending only at obstacle
 // corners) and its total length. The path is nil and the length Unreachable
 // when no route exists.
-func (db *Database) ObstructedPath(a, b Point) ([]Point, float64, error) {
-	return db.engine.ObstructedPath(a, b)
+func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...QueryOption) ([]Point, float64, error) {
+	cfg := applyOptions(opts)
+	start := time.Now()
+	sess := db.engine.NewSession(ctx)
+	path, d, st, err := sess.ObstructedPath(a, b)
+	cfg.record(sess, st, start)
+	return path, d, err
 }
 
 // InsideObstacle reports whether p lies strictly inside an obstacle. Such
@@ -277,12 +411,14 @@ func (db *Database) InsideObstacle(p Point) (bool, error) {
 	return db.engine.InsideObstacle(p)
 }
 
-// ObstacleTreeStats returns the I/O counters of the obstacle R-tree.
+// ObstacleTreeStats returns the I/O counters of the obstacle R-tree
+// (process-global; see WithStats for per-query counters).
 func (db *Database) ObstacleTreeStats() TreeStats {
 	return treeStats(db.obstSet.Tree())
 }
 
-// DatasetTreeStats returns the I/O counters of a dataset's R-tree.
+// DatasetTreeStats returns the I/O counters of a dataset's R-tree
+// (process-global; see WithStats for per-query counters).
 func (db *Database) DatasetTreeStats(name string) (TreeStats, error) {
 	ps, err := db.dataset(name)
 	if err != nil {
@@ -291,9 +427,13 @@ func (db *Database) DatasetTreeStats(name string) (TreeStats, error) {
 	return treeStats(ps.Tree()), nil
 }
 
-// ResetStats zeroes all I/O counters (buffers stay warm).
+// ResetStats zeroes all global I/O counters (buffers stay warm). Counters
+// zeroed while queries are in flight lose those queries' traffic; per-query
+// measurement should use WithStats instead.
 func (db *Database) ResetStats() {
 	db.obstSet.Tree().PageFile().ResetStats()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for _, ps := range db.datasets {
 		ps.Tree().PageFile().ResetStats()
 	}

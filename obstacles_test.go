@@ -1,10 +1,15 @@
 package obstacles
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+// ctx is the background context shared by the package's straight-line query
+// tests; cancellation behaviour is covered in concurrency_test.go.
+var ctx = context.Background()
 
 // cityDB builds a small deterministic scene: a 3x3 block of square
 // "buildings" with streets between them, and a few labeled points.
@@ -37,16 +42,19 @@ func TestDatabaseBasics(t *testing.T) {
 	if err := db.AddDataset("shops", pts); err == nil {
 		t.Error("duplicate dataset accepted")
 	}
-	if got := db.DatasetLen("shops"); got != len(pts) {
-		t.Errorf("DatasetLen = %d", got)
+	if got, err := db.DatasetLen("shops"); err != nil || got != len(pts) {
+		t.Errorf("DatasetLen = %d, %v", got, err)
 	}
-	if got := db.DatasetLen("nope"); got != 0 {
-		t.Errorf("absent DatasetLen = %d", got)
+	if _, err := db.DatasetLen("nope"); err == nil {
+		t.Error("absent DatasetLen should error")
+	}
+	if !db.HasDataset("shops") || db.HasDataset("nope") {
+		t.Error("HasDataset wrong")
 	}
 	if names := db.Datasets(); len(names) != 1 || names[0] != "shops" {
 		t.Errorf("Datasets = %v", names)
 	}
-	if _, err := db.Range("nope", Pt(0, 0), 5); err == nil {
+	if _, err := db.Range(ctx, "nope", Pt(0, 0), 5); err == nil {
 		t.Error("query on unknown dataset should fail")
 	}
 }
@@ -54,7 +62,7 @@ func TestDatabaseBasics(t *testing.T) {
 func TestObstructedDistancePublic(t *testing.T) {
 	db := cityDB(t, DefaultOptions())
 	// Corridor path between two buildings: straight line along the street.
-	d, err := db.ObstructedDistance(Pt(5, 20), Pt(5, 80))
+	d, err := db.ObstructedDistance(ctx, Pt(5, 20), Pt(5, 80))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +70,7 @@ func TestObstructedDistancePublic(t *testing.T) {
 		t.Errorf("street-line distance = %v, want 60", d)
 	}
 	// Across a building: must detour around it.
-	d, err = db.ObstructedDistance(Pt(5, 20), Pt(35, 20))
+	d, err = db.ObstructedDistance(ctx, Pt(5, 20), Pt(35, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +90,7 @@ func TestRangeAndNNPublic(t *testing.T) {
 			t.Fatal(err)
 		}
 		q := Pt(5, 5)
-		nbs, err := db.Range("shops", q, 45)
+		nbs, err := db.Range(ctx, "shops", q, 45)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +102,7 @@ func TestRangeAndNNPublic(t *testing.T) {
 				t.Error("range results unsorted")
 			}
 		}
-		nn, err := db.NearestNeighbors("shops", q, 3)
+		nn, err := db.NearestNeighbors(ctx, "shops", q, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +128,7 @@ func TestJoinAndClosestPairsPublic(t *testing.T) {
 	if err := db.AddDataset("cafes", cafes); err != nil {
 		t.Fatal(err)
 	}
-	pairs, err := db.DistanceJoin("homes", "cafes", 40)
+	pairs, err := db.DistanceJoin(ctx, "homes", "cafes", 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +140,7 @@ func TestJoinAndClosestPairsPublic(t *testing.T) {
 			t.Errorf("join pair below Euclidean: %v", p)
 		}
 	}
-	cps, err := db.ClosestPairs("homes", "cafes", 2)
+	cps, err := db.ClosestPairs(ctx, "homes", "cafes", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +218,7 @@ func TestStatsPublic(t *testing.T) {
 	db.ResetStats()
 	// (35, 35) is a street crossing; a point inside a building would be
 	// rejected before touching the dataset tree.
-	if _, err := db.NearestNeighbors("shops", Pt(35, 35), 1); err != nil {
+	if _, err := db.NearestNeighbors(ctx, "shops", Pt(35, 35), 1); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := db.DatasetTreeStats("shops")
@@ -247,7 +255,7 @@ func TestUnreachablePublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := db.ObstructedDistance(Pt(25, 25), Pt(100, 100))
+	d, err := db.ObstructedDistance(ctx, Pt(25, 25), Pt(100, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +276,7 @@ func TestNewDatabaseValidation(t *testing.T) {
 	if err := db.AddDataset("p", []Point{Pt(0, 0), Pt(3, 4)}); err != nil {
 		t.Fatal(err)
 	}
-	d, err := db.ObstructedDistance(Pt(0, 0), Pt(3, 4))
+	d, err := db.ObstructedDistance(ctx, Pt(0, 0), Pt(3, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +292,7 @@ func TestInsertLoadOption(t *testing.T) {
 	if err := db.AddDataset("p", []Point{Pt(5, 5), Pt(95, 95), Pt(5, 95)}); err != nil {
 		t.Fatal(err)
 	}
-	nn, err := db.NearestNeighbors("p", Pt(6, 6), 1)
+	nn, err := db.NearestNeighbors(ctx, "p", Pt(6, 6), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +306,11 @@ func TestObstructedPathPublic(t *testing.T) {
 	// From the SW corner to east of the first building: the route must bend
 	// around building corners and match the reported distance.
 	a, b := Pt(5, 20), Pt(35, 20)
-	path, dist, err := db.ObstructedPath(a, b)
+	path, dist, err := db.ObstructedPath(ctx, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := db.ObstructedDistance(a, b)
+	d2, err := db.ObstructedDistance(ctx, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +339,7 @@ func TestObstructedPathPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, dist, err = sealed.ObstructedPath(Pt(25, 25), Pt(100, 100))
+	path, dist, err = sealed.ObstructedPath(ctx, Pt(25, 25), Pt(100, 100))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,14 +392,14 @@ func TestLargeScaleSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := Pt(500, 500)
-	nn, err := db.NearestNeighbors("p", q, 10)
+	nn, err := db.NearestNeighbors(ctx, "p", q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(nn) != 10 {
 		t.Fatalf("got %d NNs", len(nn))
 	}
-	rr, err := db.Range("p", q, nn[9].Distance)
+	rr, err := db.Range(ctx, "p", q, nn[9].Distance)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,17 +18,54 @@
 // density clustering and k-medoids partitioning, where entities separated
 // by an obstacle wall cluster apart even when they are Euclidean-close.
 //
+// A Database is safe for concurrent use: any number of goroutines may query
+// it in parallel, sharing the warm page buffers and the visibility-graph
+// cache. Every query verb is context-first — cancellation or a deadline
+// aborts long Dijkstra expansions mid-flight and returns ctx.Err() — and
+// accepts functional options: WithStats collects per-query work counters
+// (page accesses, settled nodes, graph builds, wall time), WithLimit caps
+// result counts, WithFilter / WithPairFilter push predicates into the
+// incremental streams. Incremental retrieval uses Go range-over-func
+// sequences: Nearest (entities by ascending obstructed distance) and
+// Closest (pairs, the iOCP algorithm).
+//
 // Quick start:
 //
 //	db, err := obstacles.NewDatabaseFromRects(streetMBRs, obstacles.DefaultOptions())
 //	...
 //	err = db.AddDataset("restaurants", restaurantPoints)
 //	...
-//	nns, err := db.NearestNeighbors("restaurants", obstacles.Pt(x, y), 5)
+//	var qs obstacles.QueryStats
+//	nns, err := db.NearestNeighbors(ctx, "restaurants", obstacles.Pt(x, y), 5,
+//		obstacles.WithStats(&qs))
 //	...
-//	cl, err := db.Cluster("restaurants", obstacles.ClusterOptions{
+//	for nb, err := range db.Nearest(ctx, "restaurants", q) {
+//		...
+//	}
+//	cl, err := db.Cluster(ctx, "restaurants", obstacles.ClusterOptions{
 //		Algorithm: obstacles.DBSCAN, Eps: 500, MinPts: 4,
 //	})
+//
+// # Migrating from the pre-context API
+//
+// Query verbs gained a leading context.Context and trailing options:
+//
+//	db.Range("p", q, r)            ->  db.Range(ctx, "p", q, r)
+//	db.NearestNeighbors("p", q, k) ->  db.NearestNeighbors(ctx, "p", q, k)
+//	db.DistanceJoin("s", "t", d)   ->  db.DistanceJoin(ctx, "s", "t", d)
+//	db.ClosestPairs("s", "t", k)   ->  db.ClosestPairs(ctx, "s", "t", k)
+//	db.ObstructedDistance(a, b)    ->  db.ObstructedDistance(ctx, a, b)
+//	db.ObstructedPath(a, b)        ->  db.ObstructedPath(ctx, a, b)
+//	db.ObstructedDistances(q, ts)  ->  db.ObstructedDistances(ctx, q, ts)
+//	db.DistanceMatrix(pts)         ->  db.DistanceMatrix(ctx, pts)
+//	db.Cluster("p", copts)         ->  db.Cluster(ctx, "p", copts)
+//	db.DatasetLen("p")             ->  n, err := db.DatasetLen("p") (unknown name errors; see HasDataset)
+//	db.NearestIterator("p", q)     ->  for nb, err := range db.Nearest(ctx, "p", q)
+//	db.ClosestPairIterator(s, t)   ->  for p, err := range db.Closest(ctx, s, t)
+//	db.ResetStats + TreeStats      ->  db.Range(ctx, ..., obstacles.WithStats(&qs))
+//
+// The old iterator structs remain as deprecated wrappers; the global
+// ResetStats/TreeStats counters remain for whole-process accounting.
 //
 // See the examples directory for complete programs.
 package obstacles
