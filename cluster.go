@@ -62,7 +62,9 @@ type ClusterOptions struct {
 // Clustering is the result of Database.Cluster.
 type Clustering struct {
 	// Assignments maps every entity id of the dataset (the index used by
-	// AddDataset) to a cluster id in [0, NumClusters), or NoiseCluster.
+	// AddDataset, or the id assigned by InsertPoints) to a cluster id in
+	// [0, NumClusters), or NoiseCluster. After deletions the id space is
+	// sparse; ids of deleted entities report NoiseCluster.
 	Assignments []int
 	// NumClusters is the number of clusters produced.
 	NumClusters int
@@ -90,6 +92,10 @@ type sessionOracle struct {
 	sess *core.Session
 	ps   *core.PointSet
 	st   *core.Stats // aggregated engine-level counters across oracle calls
+	// liveIDs maps compact clustering indexes to entity ids (after deletions
+	// the id space is sparse); idToIdx is its inverse for range candidates.
+	liveIDs []int64
+	idToIdx map[int64]int
 }
 
 func (o sessionOracle) Distances(source geom.Point, targets []geom.Point) ([]float64, error) {
@@ -105,13 +111,14 @@ func (o sessionOracle) DistanceMatrix(pts []geom.Point) ([][]float64, error) {
 }
 
 func (o sessionOracle) EuclideanRange(i int, r float64) ([]int, error) {
-	ids, err := o.sess.EuclideanRange(o.ps, o.ps.Point(int64(i)), r)
+	ids, err := o.sess.EuclideanRange(o.ps, o.ps.Point(o.liveIDs[i]), r)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, len(ids))
-	for k, id := range ids {
-		out[k] = int(id)
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		// The tree serves only live entities, so the lookup cannot miss.
+		out = append(out, o.idToIdx[id])
 	}
 	return out, nil
 }
@@ -129,13 +136,23 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 	if err != nil {
 		return nil, err
 	}
-	pts := make([]geom.Point, ps.Len())
-	for i := range pts {
-		pts[i] = ps.Point(int64(i))
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
+	// Ids can be sparse after DeletePoints: cluster the compacted live
+	// points, then map the assignments back to id-indexed form (deleted ids
+	// report NoiseCluster).
+	liveIDs := ps.Live(nil)
+	pts := make([]geom.Point, len(liveIDs))
+	for i, id := range liveIDs {
+		pts[i] = ps.Point(id)
+	}
+	idToIdx := make(map[int64]int, len(liveIDs))
+	for i, id := range liveIDs {
+		idToIdx[id] = i
 	}
 	sess := db.engine.NewSession(ctx)
 	var st core.Stats
-	oracle := sessionOracle{sess: sess, ps: ps, st: &st}
+	oracle := sessionOracle{sess: sess, ps: ps, st: &st, liveIDs: liveIDs, idToIdx: idToIdx}
 	var res *cluster.Result
 	switch copts.Algorithm {
 	case DBSCAN:
@@ -159,10 +176,29 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 	if err != nil {
 		return nil, fmt.Errorf("obstacles: clustering %q: %w", dataset, err)
 	}
+	// Map compact clustering indexes back to entity ids. After deletions the
+	// id space is sparse; deleted ids report NoiseCluster.
+	assignments := res.Assignments
+	if int64(len(liveIDs)) != ps.IDBound() {
+		assignments = make([]int, ps.IDBound())
+		for i := range assignments {
+			assignments[i] = NoiseCluster
+		}
+		for i, id := range liveIDs {
+			assignments[id] = res.Assignments[i]
+		}
+	}
+	var medoids []int
+	if res.Medoids != nil {
+		medoids = make([]int, len(res.Medoids))
+		for c, mi := range res.Medoids {
+			medoids[c] = int(liveIDs[mi])
+		}
+	}
 	return &Clustering{
-		Assignments: res.Assignments,
+		Assignments: assignments,
 		NumClusters: res.NumClusters,
-		Medoids:     res.Medoids,
+		Medoids:     medoids,
 		Cost:        res.Cost,
 		NoiseCount:  res.NoiseCount,
 	}, nil
@@ -176,6 +212,8 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []Point, opts ...QueryOption) ([]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	d, st, err := sess.BatchDistances(q, targets)
 	cfg.record(sess, st, start)
@@ -189,6 +227,8 @@ func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []
 func (db *Database) DistanceMatrix(ctx context.Context, pts []Point, opts ...QueryOption) ([][]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	m, st, err := sess.DistanceMatrix(pts)
 	cfg.record(sess, st, start)

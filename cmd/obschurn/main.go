@@ -1,0 +1,211 @@
+// Command obschurn measures query throughput under a dynamic-update
+// workload: N goroutines run nearest-neighbor and range queries over a
+// generated street world while a configurable fraction of operations mutate
+// the database in place — point inserts/deletes and obstacle add/removes
+// through the public update API.
+//
+// Examples:
+//
+//	obschurn -obstacles 1000 -entities 2000 -ops 2000 -mix 0.01 -parallel 4
+//	obschurn -mix 0.10 -parallel 1 -seed 7
+//
+// Each worker reports its own per-query stats; the tool prints aggregate
+// queries/sec, page accesses, and the graph-cache counters (hits, misses,
+// invalidations) that show how far an obstacle update's damage spreads.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	obstacles "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		nObst    = flag.Int("obstacles", 1000, "obstacle count of the generated world")
+		nPts     = flag.Int("entities", 2000, "entity count of the P dataset")
+		ops      = flag.Int("ops", 2000, "operations per worker")
+		mix      = flag.Float64("mix", 0.01, "fraction of operations that are updates (0..1)")
+		parallel = flag.Int("parallel", 4, "worker goroutines")
+		seed     = flag.Int64("seed", 9, "world seed")
+		timeout  = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
+	)
+	flag.Parse()
+
+	world := dataset.Generate(dataset.DefaultConfig(*seed, *nObst))
+	db, err := obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	pts := world.Entities(world.EntityRand(2), *nPts)
+	if err := db.AddDataset("P", pts); err != nil {
+		fatal(err)
+	}
+	universe := world.Universe()
+	fmt.Printf("world: %d obstacles, %d entities, update mix %.1f%%, %d workers x %d ops\n",
+		db.NumObstacles(), *nPts, *mix*100, *parallel, *ops)
+
+	var (
+		wg          sync.WaitGroup
+		queries     atomic.Uint64
+		updates     atomic.Uint64
+		pageAccs    atomic.Uint64
+		workerErr   atomic.Value
+		updateMu    sync.Mutex // serializes the update bookkeeping below
+		insertedIDs []int64
+		obstIDs     []int64
+	)
+	radius := universe * 0.02
+	start := time.Now()
+	for wkr := 0; wkr < *parallel; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(wkr)*7919))
+			for i := 0; i < *ops; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if *timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, *timeout)
+				}
+				err := runOp(ctx, db, rng, *mix, universe, radius,
+					&updateMu, &insertedIDs, &obstIDs, &queries, &updates, &pageAccs)
+				cancel()
+				if err != nil {
+					workerErr.Store(fmt.Errorf("worker %d op %d: %w", wkr, i, err))
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := workerErr.Load().(error); err != nil {
+		fatal(err)
+	}
+
+	q, u := queries.Load(), updates.Load()
+	fmt.Printf("\n%d queries + %d updates in %v\n", q, u, elapsed)
+	fmt.Printf("throughput: %.1f queries/sec (%.1f ops/sec total)\n",
+		float64(q)/elapsed.Seconds(), float64(q+u)/elapsed.Seconds())
+	fmt.Printf("page accesses: %d total, %.2f per query\n", pageAccs.Load(), float64(pageAccs.Load())/float64(q))
+	cs := db.GraphCacheStats()
+	fmt.Printf("graph cache: %d hits, %d misses, %d evictions, %d invalidations\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
+	n, err := db.DatasetLen("P")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("final state: %d obstacles, %d entities\n", db.NumObstacles(), n)
+}
+
+// runOp performs one workload operation: with probability mix an update
+// (alternating point churn and obstacle churn, keeping the live counts
+// roughly steady), otherwise a query.
+func runOp(ctx context.Context, db *obstacles.Database, rng *rand.Rand, mix, universe, radius float64,
+	mu *sync.Mutex, insertedIDs, obstIDs *[]int64,
+	queries, updates, pageAccs *atomic.Uint64) error {
+	randPt := func() obstacles.Point {
+		return obstacles.Pt(rng.Float64()*universe, rng.Float64()*universe)
+	}
+	if rng.Float64() < mix {
+		updates.Add(1)
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case rng.Intn(2) == 0: // point churn: insert one, delete an old one
+			ids, err := db.InsertPoints("P", randPt())
+			if err != nil {
+				return err
+			}
+			*insertedIDs = append(*insertedIDs, ids...)
+			if len(*insertedIDs) > 64 {
+				id := (*insertedIDs)[0]
+				*insertedIDs = (*insertedIDs)[1:]
+				if err := db.DeletePoints("P", id); err != nil {
+					return err
+				}
+			}
+		default: // obstacle churn: a construction site appears, an old one clears
+			s := universe * 0.002
+			site, ok := findSite(db, rng, universe, s)
+			if !ok {
+				return nil // crowded world; skip this update
+			}
+			ids, err := db.AddObstacleRects(site)
+			if err != nil {
+				return err
+			}
+			*obstIDs = append(*obstIDs, ids...)
+			if len(*obstIDs) > 16 {
+				id := (*obstIDs)[0]
+				*obstIDs = (*obstIDs)[1:]
+				if err := db.RemoveObstacles(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	queries.Add(1)
+	var qs obstacles.QueryStats
+	q := randPt()
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		_, err = db.NearestNeighbors(ctx, "P", q, 8, obstacles.WithStats(&qs))
+	case 1:
+		_, err = db.Range(ctx, "P", q, radius, obstacles.WithStats(&qs))
+	default:
+		// Batch distances exercise the shared graph cache, whose hit and
+		// invalidation counters show how localized the update damage is.
+		targets := make([]obstacles.Point, 8)
+		for i := range targets {
+			targets[i] = obstacles.Pt(q.X+(rng.Float64()-0.5)*radius, q.Y+(rng.Float64()-0.5)*radius)
+		}
+		_, err = db.ObstructedDistances(ctx, q, targets, obstacles.WithStats(&qs))
+	}
+	if err != nil {
+		return err
+	}
+	pageAccs.Add(qs.PageAccesses)
+	return nil
+}
+
+// findSite looks for a spot whose corners and center lie outside every
+// obstacle, so construction sites (mostly) avoid overlapping existing
+// obstacle interiors — the plane sweep assumes disjoint interiors.
+func findSite(db *obstacles.Database, rng *rand.Rand, universe, s float64) (obstacles.Rect, bool) {
+	for try := 0; try < 8; try++ {
+		x, y := rng.Float64()*(universe-s), rng.Float64()*(universe-s)
+		r := obstacles.R(x, y, x+s, y+s)
+		clear := true
+		for _, p := range []obstacles.Point{
+			obstacles.Pt(x, y), obstacles.Pt(x+s, y), obstacles.Pt(x, y+s),
+			obstacles.Pt(x+s, y+s), obstacles.Pt(x+s/2, y+s/2),
+		} {
+			inside, err := db.InsideObstacle(p)
+			if err != nil || inside {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			return r, true
+		}
+	}
+	return obstacles.Rect{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obschurn:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Roadworks: dynamic obstacle updates between queries. A dispatcher keeps
+// assigning ambulances (nearest-by-walking-distance stations) while road
+// closures appear and clear: construction fences become obstacles with
+// AddObstacleRects, reopened roads vanish with RemoveObstacles, and a new
+// station joins the network mid-scenario with InsertPoints. The database
+// invalidates only the cached visibility graphs whose coverage the closure
+// touches, so queries on the far side of town keep their warm graphs.
+// Run with:
+//
+//	go run ./examples/roadworks
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	obstacles "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A small town: two rows of buildings along a central east-west high
+	// street (y in [45, 55] stays open).
+	var rects []obstacles.Rect
+	for i := 0; i < 5; i++ {
+		x := 10 + float64(i)*20
+		rects = append(rects,
+			obstacles.R(x, 10, x+12, 43), // south block
+			obstacles.R(x, 57, x+12, 90)) // north block
+	}
+	db, err := obstacles.NewDatabaseFromRects(rects, obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ambulance stations: one in the south-west, one in the north-east.
+	stations := []obstacles.Point{obstacles.Pt(5, 5), obstacles.Pt(105, 95)}
+	if err := db.AddDataset("stations", stations); err != nil {
+		log.Fatal(err)
+	}
+
+	incident := obstacles.Pt(55, 50) // on the high street, mid-town
+	// Dispatch coverage points along the high street; the batch distances
+	// run on the shared graph cache, so the counters at the end show how
+	// the closures' invalidations stayed local.
+	coverage := []obstacles.Point{obstacles.Pt(15, 50), obstacles.Pt(50, 50), obstacles.Pt(85, 50)}
+	report := func(when string) obstacles.Neighbor {
+		nn, err := db.NearestNeighbors(ctx, "stations", incident, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(nn) == 0 {
+			log.Fatalf("%s: no station can reach the incident", when)
+		}
+		if _, err := db.ObstructedDistances(ctx, incident, coverage); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s -> station %d responds, walking distance %.1f\n", when, nn[0].ID, nn[0].Distance)
+		return nn[0]
+	}
+
+	before := report("before the roadworks")
+
+	// Roadworks fence off the high street west of the incident. The fence is
+	// a real obstacle: paths must now climb around the blocks.
+	fence, err := db.AddObstacleRects(obstacles.R(40, 44, 44, 56))
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := report("high street closed at x=40")
+	if after.ID != before.ID {
+		fmt.Println("  the closure flipped the assignment to the other station")
+	} else {
+		fmt.Printf("  same station, %.1f extra walking\n", after.Distance-before.Distance)
+	}
+
+	// A new station opens right next to the incident while the road is
+	// closed — point inserts never invalidate any cached graph.
+	ids, err := db.InsertPoints("stations", obstacles.Pt(60, 52))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new station %d opens at (60, 52)\n", ids[0])
+	report("with the new station")
+
+	// The roadworks finish: remove the fence and the original geometry (and
+	// distances) come back.
+	if err := db.RemoveObstacles(fence...); err != nil {
+		log.Fatal(err)
+	}
+	report("road reopened")
+
+	// The new station is decommissioned again; deleting its id restores the
+	// original two-station state exactly.
+	if err := db.DeletePoints("stations", ids[0]); err != nil {
+		log.Fatal(err)
+	}
+	final := report("station decommissioned")
+	if final.ID == before.ID && final.Distance == before.Distance {
+		fmt.Println("  back to the pre-roadworks assignment, to the digit")
+	}
+
+	cs := db.GraphCacheStats()
+	fmt.Printf("\ngraph cache over the scenario: %d hits, %d misses, %d invalidations\n",
+		cs.Hits, cs.Misses, cs.Invalidations)
+}

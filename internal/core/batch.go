@@ -435,6 +435,9 @@ const growLimit = 4
 // CacheStats counts graph-cache traffic.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
+	// Invalidations counts entries dropped because an obstacle update
+	// touched their coverage disk (see InvalidateRegion).
+	Invalidations uint64
 }
 
 // NewGraphCache returns a cache of at most capacity expanded graphs over e's
@@ -516,7 +519,18 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 			c.mu.Unlock()
 			return c.acquire(s, source, r0)
 		}
-		en.g.Retarget(s.metricsHook())
+		if !en.g.Retarget(s.metricsHook()) {
+			// The graph went stale (an obstacle update invalidated it)
+			// between the candidate scan and the lock; drop it and rescan —
+			// Retarget refusing is the last line of defense behind
+			// InvalidateRegion's list removal.
+			en.unlock()
+			c.drop(en)
+			c.mu.Lock()
+			c.stats.Hits--
+			c.mu.Unlock()
+			return c.acquire(s, source, r0)
+		}
 		off := en.center.Dist(source)
 		if en.coverage()-off < r0 {
 			if err := en.grow(s, off+r0); err != nil {
@@ -609,6 +623,50 @@ func (s *Session) batchViaCache(c *GraphCache, source geom.Point, targets []geom
 	}
 	countReachable(dists, &st)
 	return dists, st, nil
+}
+
+// InvalidateRegion drops every cached graph whose coverage disk intersects
+// r — the MBR of an added or removed obstacle. Entries elsewhere survive:
+// their graphs never incorporated (and were never required to incorporate)
+// an obstacle outside their disk, so an update that does not touch the disk
+// cannot change any distance they produce. Dropped graphs are marked stale,
+// making Retarget refuse them should any straggler still hold a reference.
+//
+// Like EnableGraphCache, this must not run while queries are in flight; the
+// public Database calls it under its update write lock. It returns the
+// number of entries invalidated.
+func (c *GraphCache) InvalidateRegion(r geom.Rect) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.entries[:0]
+	dropped := 0
+	for _, en := range c.entries {
+		if r.IntersectsCircle(en.center, en.coverage()) {
+			if en.g != nil {
+				en.g.Invalidate()
+			}
+			dropped++
+			c.stats.Invalidations++
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	for i := len(kept); i < len(c.entries); i++ {
+		c.entries[i] = nil
+	}
+	c.entries = kept
+	return dropped
+}
+
+// InvalidateObstacleRegion tells the engine's graph cache (when enabled)
+// that the obstacle set changed inside r; cached graphs covering r are
+// dropped, the rest keep serving queries. Must not run concurrently with
+// queries.
+func (e *Engine) InvalidateObstacleRegion(r geom.Rect) int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.InvalidateRegion(r)
 }
 
 // drop removes an entry from the cache.

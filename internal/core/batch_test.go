@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/visgraph"
 )
 
 // TestBatchDistancesMatchesPerPair: the batch primitive must agree with the
@@ -293,5 +294,71 @@ func TestDistanceJoinCachedMatchesUncached(t *testing.T) {
 		if cached.GraphCacheStats().Hits+cached.GraphCacheStats().Misses == 0 {
 			t.Fatal("cached join never touched the cache")
 		}
+	}
+}
+
+// TestInvalidateRegionScoped: obstacle updates drop exactly the cached
+// graphs whose coverage disk intersects the changed MBR, a stale graph
+// refuses Retarget, and queries after an invalidation see the new state.
+func TestInvalidateRegionScoped(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := newScene(t, rng, 10, 100)
+	eng := engines(s)[0]
+	eng.EnableGraphCache(4)
+
+	// Warm two disjoint entries: one near the origin, one far away.
+	nearSrc := s.freePoint(rng, 30)
+	farSrc := geom.Pt(nearSrc.X+500, nearSrc.Y+500)
+	nearTargets := []geom.Point{s.freePoint(rng, 30), s.freePoint(rng, 30)}
+	farTargets := []geom.Point{geom.Pt(farSrc.X+10, farSrc.Y), geom.Pt(farSrc.X, farSrc.Y+12)}
+	if _, _, err := eng.BatchDistances(nearSrc, nearTargets); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.BatchDistances(farSrc, farTargets); err != nil {
+		t.Fatal(err)
+	}
+
+	// An update far from both coverage disks invalidates nothing.
+	if n := eng.InvalidateObstacleRegion(geom.R(-900, -900, -890, -890)); n != 0 {
+		t.Fatalf("far update invalidated %d entries", n)
+	}
+	// An update overlapping the near entry's disk drops exactly that entry.
+	if n := eng.InvalidateObstacleRegion(geom.R(nearSrc.X-1, nearSrc.Y-1, nearSrc.X+1, nearSrc.Y+1)); n != 1 {
+		t.Fatalf("near update invalidated %d entries, want 1", n)
+	}
+	if cs := eng.GraphCacheStats(); cs.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", cs.Invalidations)
+	}
+
+	// The far entry still serves hits; the near region rebuilds.
+	before := eng.GraphCacheStats()
+	if _, _, err := eng.BatchDistances(farSrc, farTargets); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.GraphCacheStats(); cs.Hits != before.Hits+1 {
+		t.Fatalf("surviving entry not reused: hits %d -> %d", before.Hits, cs.Hits)
+	}
+	if _, _, err := eng.BatchDistances(nearSrc, nearTargets); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.GraphCacheStats(); cs.Misses != before.Misses+1 {
+		t.Fatalf("invalidated region should miss: misses %d -> %d", before.Misses, cs.Misses)
+	}
+}
+
+// TestRetargetRefusesStaleGraph pins the visgraph contract the cache relies
+// on: once invalidated, a graph detaches hooks but refuses to be retargeted
+// to a new query.
+func TestRetargetRefusesStaleGraph(t *testing.T) {
+	g := visgraph.Build(visgraph.Options{UseSweep: true}, nil)
+	if ok := g.Retarget(nil, nil); !ok {
+		t.Fatal("fresh graph refused Retarget")
+	}
+	g.Invalidate()
+	if !g.Stale() {
+		t.Fatal("Invalidate did not mark the graph stale")
+	}
+	if ok := g.Retarget(nil, nil); ok {
+		t.Fatal("stale graph accepted Retarget")
 	}
 }

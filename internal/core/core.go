@@ -12,6 +12,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/pagefile"
@@ -20,10 +22,18 @@ import (
 )
 
 // PointSet is an entity dataset: points indexed by an R-tree, addressed by
-// dense int64 ids (the index into the point slice).
+// dense int64 ids (the index into the point slice). The set is mutable —
+// Insert and Delete update points in place — but mutation is not safe
+// against concurrent readers: callers must exclude in-flight queries (the
+// public Database does this with its update lock).
 type PointSet struct {
 	tree *rtree.Tree
 	pts  []geom.Point
+	// dead marks deleted ids (aligned with pts); nil until the first delete.
+	dead []bool
+	// free lists dead ids available for reuse, so sustained churn keeps the
+	// id space (and the pts slice) bounded instead of growing forever.
+	free []int64
 }
 
 // NewPointSet indexes pts with an R-tree. Bulk loading (STR) is used when
@@ -61,14 +71,100 @@ func (s *PointSet) Tree() *rtree.Tree { return s.tree }
 // Point returns the location of the entity with the given id.
 func (s *PointSet) Point(id int64) geom.Point { return s.pts[id] }
 
-// Len returns the number of entities.
-func (s *PointSet) Len() int { return len(s.pts) }
+// Len returns the number of live entities.
+func (s *PointSet) Len() int { return len(s.pts) - len(s.free) }
+
+// IDBound returns the exclusive upper bound of ids ever assigned. Live ids
+// are a subset of [0, IDBound); deleted ids inside the range may be reused
+// by later inserts.
+func (s *PointSet) IDBound() int64 { return int64(len(s.pts)) }
+
+// Alive reports whether id refers to a live entity.
+func (s *PointSet) Alive(id int64) bool {
+	if id < 0 || id >= int64(len(s.pts)) {
+		return false
+	}
+	return s.dead == nil || !s.dead[id]
+}
+
+// Live appends the ids of all live entities to dst in ascending order.
+func (s *PointSet) Live(dst []int64) []int64 {
+	for i := range s.pts {
+		if s.dead == nil || !s.dead[i] {
+			dst = append(dst, int64(i))
+		}
+	}
+	return dst
+}
+
+// Insert adds points as entities, reusing ids freed by earlier deletions
+// before growing the id space, and returns the assigned ids. Mutation must
+// not run concurrently with queries on the same set.
+func (s *PointSet) Insert(pts []geom.Point) ([]int64, error) {
+	ids := make([]int64, 0, len(pts))
+	for _, p := range pts {
+		var id int64
+		if n := len(s.free); n > 0 {
+			id = s.free[n-1]
+			s.free = s.free[:n-1]
+			s.pts[id] = p
+			s.dead[id] = false
+		} else {
+			id = int64(len(s.pts))
+			s.pts = append(s.pts, p)
+			if s.dead != nil {
+				s.dead = append(s.dead, false)
+			}
+		}
+		if err := s.tree.InsertPoint(p, id); err != nil {
+			// Roll the slot back (dead + reusable) so the set stays
+			// consistent with the tree.
+			if s.dead == nil {
+				s.dead = make([]bool, len(s.pts))
+			}
+			s.dead[id] = true
+			s.free = append(s.free, id)
+			return ids, fmt.Errorf("core: inserting point %v: %w", p, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Delete removes the entity with the given id; its id becomes reusable by a
+// later Insert. It errors when the id is unknown or already deleted.
+func (s *PointSet) Delete(id int64) error {
+	if !s.Alive(id) {
+		return fmt.Errorf("core: delete of unknown entity id %d", id)
+	}
+	found, err := s.tree.Delete(geom.PointRect(s.pts[id]), id)
+	if err != nil {
+		return fmt.Errorf("core: deleting entity %d: %w", id, err)
+	}
+	if !found {
+		return fmt.Errorf("core: entity %d missing from index", id)
+	}
+	if s.dead == nil {
+		s.dead = make([]bool, len(s.pts))
+	}
+	s.dead[id] = true
+	s.free = append(s.free, id)
+	return nil
+}
 
 // ObstacleSet is an obstacle dataset: polygons indexed by an R-tree on their
-// MBRs, addressed by dense int64 ids.
+// MBRs, addressed by dense int64 ids. Obstacles can be added and removed in
+// place (Add, Remove); every mutation bumps the set's generation counter,
+// which the visibility-graph cache uses to refuse stale graphs. As with
+// PointSet, mutation must not run concurrently with queries.
 type ObstacleSet struct {
 	tree  *rtree.Tree
 	polys []geom.Polygon
+	dead  []bool
+	free  []int64
+	// gen counts mutations. Read atomically by cache-staleness checks that
+	// may run outside the writer's critical section.
+	gen atomic.Uint64
 }
 
 // NewObstacleSet indexes polys by their MBRs.
@@ -104,8 +200,80 @@ func (o *ObstacleSet) Tree() *rtree.Tree { return o.tree }
 // Polygon returns the obstacle with the given id.
 func (o *ObstacleSet) Polygon(id int64) geom.Polygon { return o.polys[id] }
 
-// Len returns the number of obstacles.
-func (o *ObstacleSet) Len() int { return len(o.polys) }
+// Len returns the number of live obstacles.
+func (o *ObstacleSet) Len() int { return len(o.polys) - len(o.free) }
+
+// Generation returns the mutation counter: it increases on every Add or
+// Remove, so a visibility graph stamped with an older generation may reflect
+// an obstacle set that no longer exists.
+func (o *ObstacleSet) Generation() uint64 { return o.gen.Load() }
+
+// Alive reports whether id refers to a live obstacle.
+func (o *ObstacleSet) Alive(id int64) bool {
+	if id < 0 || id >= int64(len(o.polys)) {
+		return false
+	}
+	return o.dead == nil || !o.dead[id]
+}
+
+// Add indexes new obstacles, reusing ids freed by earlier removals, and
+// returns the assigned ids. Mutation must not run concurrently with queries;
+// callers owning a graph cache must invalidate the affected regions.
+func (o *ObstacleSet) Add(polys []geom.Polygon) ([]int64, error) {
+	ids := make([]int64, 0, len(polys))
+	for _, pg := range polys {
+		var id int64
+		if n := len(o.free); n > 0 {
+			id = o.free[n-1]
+			o.free = o.free[:n-1]
+			o.polys[id] = pg
+			o.dead[id] = false
+		} else {
+			id = int64(len(o.polys))
+			o.polys = append(o.polys, pg)
+			if o.dead != nil {
+				o.dead = append(o.dead, false)
+			}
+		}
+		if err := o.tree.Insert(pg.Bounds(), id); err != nil {
+			if o.dead == nil {
+				o.dead = make([]bool, len(o.polys))
+			}
+			o.dead[id] = true
+			o.free = append(o.free, id)
+			o.gen.Add(1)
+			return ids, fmt.Errorf("core: inserting obstacle: %w", err)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) > 0 {
+		o.gen.Add(1)
+	}
+	return ids, nil
+}
+
+// Remove deletes the obstacle with the given id, returning its MBR so the
+// caller can invalidate cached graphs covering it. The id becomes reusable.
+func (o *ObstacleSet) Remove(id int64) (geom.Rect, error) {
+	if !o.Alive(id) {
+		return geom.Rect{}, fmt.Errorf("core: remove of unknown obstacle id %d", id)
+	}
+	mbr := o.polys[id].Bounds()
+	found, err := o.tree.Delete(mbr, id)
+	if err != nil {
+		return geom.Rect{}, fmt.Errorf("core: removing obstacle %d: %w", id, err)
+	}
+	if !found {
+		return geom.Rect{}, fmt.Errorf("core: obstacle %d missing from index", id)
+	}
+	if o.dead == nil {
+		o.dead = make([]bool, len(o.polys))
+	}
+	o.dead[id] = true
+	o.free = append(o.free, id)
+	o.gen.Add(1)
+	return mbr, nil
+}
 
 // Result is one entity qualified by a query, with its obstructed distance.
 type Result struct {

@@ -45,6 +45,37 @@ func TestMemStorageAllocateFreeReuse(t *testing.T) {
 	}
 }
 
+// TestFileChurnStaysBounded drives sustained allocate/free churn through a
+// File and asserts the simulated file does not grow: every Free feeds the
+// MemStorage free list, and Allocate drains it before extending the file.
+func TestFileChurnStaysBounded(t *testing.T) {
+	f := New(64, 2)
+	const live = 8
+	ids := make([]PageID, 0, live)
+	for i := 0; i < live; i++ {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		j := rng.Intn(len(ids))
+		if err := f.Free(ids[j]); err != nil {
+			t.Fatal(err)
+		}
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[j] = id
+		if n := f.NumPages(); n != live {
+			t.Fatalf("op %d: NumPages = %d, want %d (churn must reuse freed pages)", i, n, live)
+		}
+	}
+}
+
 func TestFileReadWriteRoundTrip(t *testing.T) {
 	f := New(128, 4)
 	id, err := f.Allocate()

@@ -1,0 +1,168 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestInsertDeleteChurnInvariants drives the tree through sustained
+// insert/delete churn against a brute-force model, cross-checking after
+// every batch:
+//
+//   - structural invariants (MBR containment, occupancy, uniform depth),
+//   - Len() — the size counter must stay exact across delete-condense-
+//     reinsert cycles,
+//   - window and nearest-neighbor query results against the model,
+//   - the page count — freed node pages must be reused by later splits, so
+//     steady-state churn cannot grow the simulated file unboundedly.
+func TestInsertDeleteChurnInvariants(t *testing.T) {
+	// Small pages (fanout 6) force frequent splits and condensations.
+	tr, err := New(Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	model := map[int64]geom.Point{}
+	nextID := int64(0)
+
+	randPoint := func() geom.Point {
+		return geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	insertOne := func() {
+		p := randPoint()
+		if err := tr.InsertPoint(p, nextID); err != nil {
+			t.Fatal(err)
+		}
+		model[nextID] = p
+		nextID++
+	}
+	deleteOne := func() {
+		if len(model) == 0 {
+			return
+		}
+		ids := make([]int64, 0, len(model))
+		for id := range model {
+			ids = append(ids, id)
+		}
+		id := ids[rng.Intn(len(ids))]
+		found, err := tr.Delete(geom.PointRect(model[id]), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("Delete(%d) found nothing, item is in the model", id)
+		}
+		delete(model, id)
+	}
+	check := func() {
+		t.Helper()
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", tr.Len(), len(model))
+		}
+		// Window query vs model.
+		w := geom.R(rng.Float64()*800, rng.Float64()*800, 0, 0)
+		w.MaxX = w.MinX + 100 + rng.Float64()*200
+		w.MaxY = w.MinY + 100 + rng.Float64()*200
+		got := map[int64]bool{}
+		err := tr.SearchRect(w, func(it Item) bool {
+			got[it.Data] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]bool{}
+		for id, p := range model {
+			if w.Contains(p) {
+				want[id] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("window query: got %d items, want %d", len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("window query missing item %d", id)
+			}
+		}
+		// k-NN vs model.
+		if len(model) == 0 {
+			return
+		}
+		q := randPoint()
+		k := 5
+		if k > len(model) {
+			k = len(model)
+		}
+		nns, err := tr.NearestK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists := make([]float64, 0, len(model))
+		for _, p := range model {
+			dists = append(dists, q.Dist(p))
+		}
+		sort.Float64s(dists)
+		for i, nb := range nns {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				t.Fatalf("NN %d: dist %v, brute force %v", i, nb.Dist, dists[i])
+			}
+		}
+	}
+
+	// Phase 1: grow to ~400 items.
+	for i := 0; i < 600; i++ {
+		if rng.Float64() < 0.75 {
+			insertOne()
+		} else {
+			deleteOne()
+		}
+		if i%50 == 49 {
+			check()
+		}
+	}
+	// Phase 2: steady-state churn. The page count at the start of the phase
+	// bounds the file for its whole duration (plus slack for split jitter):
+	// deletes free node pages into the free list and inserts must reuse them.
+	steadyPages := tr.PageFile().NumPages()
+	for i := 0; i < 1500; i++ {
+		if rng.Float64() < 0.5 && len(model) > 0 {
+			deleteOne()
+		} else {
+			insertOne()
+		}
+		if n := tr.PageFile().NumPages(); n > steadyPages+steadyPages/4+4 {
+			t.Fatalf("op %d: page count grew from %d to %d under steady churn — freed pages are not being reused", i, steadyPages, n)
+		}
+		if i%100 == 99 {
+			check()
+		}
+	}
+	// Phase 3: drain. The tree must shrink back to a single root page.
+	for id, p := range model {
+		found, err := tr.Delete(geom.PointRect(p), id)
+		if err != nil || !found {
+			t.Fatalf("drain Delete(%d) = %v, %v", id, found, err)
+		}
+		delete(model, id)
+	}
+	check()
+	if tr.Len() != 0 {
+		t.Fatalf("drained Len = %d", tr.Len())
+	}
+	if n := tr.PageFile().NumPages(); n != 1 {
+		t.Fatalf("drained tree holds %d pages, want 1 (root only)", n)
+	}
+	// The drained tree must accept a fresh working set again.
+	for i := 0; i < 50; i++ {
+		insertOne()
+	}
+	check()
+}

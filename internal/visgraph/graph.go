@@ -111,6 +111,11 @@ type Graph struct {
 	sweepCands candSlice
 	sweepVis   []NodeID
 	stOpen     []int
+	// stale marks a graph whose obstacle set has been mutated underneath it
+	// (an obstacle it incorporates was removed, or a new obstacle landed in
+	// its coverage); Retarget refuses stale graphs so caches cannot hand
+	// them to a new query.
+	stale bool
 }
 
 // New returns an empty graph.
@@ -127,10 +132,24 @@ func New(opts Options) *Graph {
 // across queries are retargeted to each acquiring query in turn, so work and
 // cancellation attribute to the query actually running, not the one that
 // originally built the graph.
-func (g *Graph) Retarget(m *Metrics, interrupt func() bool) {
+//
+// It reports whether the graph is still current: after Invalidate (an
+// obstacle update made the graph's contents wrong) the hooks are still
+// detached/rebound, but Retarget returns false and the caller must discard
+// the graph instead of serving a query from it.
+func (g *Graph) Retarget(m *Metrics, interrupt func() bool) bool {
 	g.opts.Metrics = m
 	g.opts.Interrupt = interrupt
+	return !g.stale
 }
+
+// Invalidate marks the graph stale: the obstacle set it was built from has
+// changed in a way that affects its coverage, so every future Retarget
+// refuses it. There is no way back — a stale graph is rebuilt, not repaired.
+func (g *Graph) Invalidate() { g.stale = true }
+
+// Stale reports whether Invalidate has been called.
+func (g *Graph) Stale() bool { return g.stale }
 
 // Obstacle couples a polygon with the caller's identifier (typically the
 // R-tree data id), so incremental additions can be deduplicated.

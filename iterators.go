@@ -22,7 +22,10 @@ import (
 //
 // WithFilter and WithLimit apply in-stream; WithStats is written when the
 // loop ends (break included). Cancelling ctx ends the sequence with
-// ctx.Err().
+// ctx.Err(). Unlike the one-shot verbs, the stream does not pin the
+// database between pulls: if InsertPoints/DeletePoints/AddObstacles/
+// RemoveObstacles commit mid-stream, the sequence ends with
+// ErrConcurrentUpdate and should be restarted.
 func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts ...QueryOption) iter.Seq2[Neighbor, error] {
 	return func(yield func(Neighbor, error) bool) {
 		cfg := applyOptions(opts)
@@ -32,23 +35,37 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 			yield(Neighbor{}, err)
 			return
 		}
+		db.updateMu.RLock()
+		gen := db.generation()
 		sess := db.engine.NewSession(ctx)
 		it := sess.NearestIterator(ps, q)
-		emitted := 0
+		db.updateMu.RUnlock()
+		emitted, pulled := 0, 0
 		defer func() {
 			st := it.Stats()
 			st.Results = emitted
-			st.FalseHits = st.Candidates - st.Results
+			// False hits are candidates the obstructed metric eliminated
+			// (retrieved in Euclidean order but never surfaced in obstructed
+			// order) — not entities the caller's filter rejected.
+			st.FalseHits = st.Candidates - pulled
 			cfg.record(sess, st, start)
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
+			db.updateMu.RLock()
+			if db.generation() != gen {
+				db.updateMu.RUnlock()
+				yield(Neighbor{}, ErrConcurrentUpdate)
+				return
+			}
 			r, ok := it.Next()
+			db.updateMu.RUnlock()
 			if !ok {
 				if err := it.Err(); err != nil {
 					yield(Neighbor{}, err)
 				}
 				return
 			}
+			pulled++
 			nb := Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}
 			if cfg.filter != nil && !cfg.filter(nb) {
 				continue
@@ -68,7 +85,8 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 // for constrained closest-pair queries ("closest city/factory pair where
 // the city has over 1M residents"). WithPairFilter and WithLimit apply
 // in-stream; WithStats is written when the loop ends. Cancelling ctx ends
-// the sequence with ctx.Err().
+// the sequence with ctx.Err(); a mutation committing mid-stream ends it
+// with ErrConcurrentUpdate.
 func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts ...QueryOption) iter.Seq2[Pair, error] {
 	return func(yield func(Pair, error) bool) {
 		cfg := applyOptions(opts)
@@ -83,27 +101,38 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 			yield(Pair{}, err)
 			return
 		}
+		db.updateMu.RLock()
+		gen := db.generation()
 		sess := db.engine.NewSession(ctx)
 		it, err := sess.ClosestPairIterator(s, t)
+		db.updateMu.RUnlock()
 		if err != nil {
 			yield(Pair{}, err)
 			return
 		}
-		emitted := 0
+		emitted, pulled := 0, 0
 		defer func() {
 			st := it.Stats()
 			st.Results = emitted
-			st.FalseHits = st.Candidates - st.Results
+			st.FalseHits = st.Candidates - pulled
 			cfg.record(sess, st, start)
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
+			db.updateMu.RLock()
+			if db.generation() != gen {
+				db.updateMu.RUnlock()
+				yield(Pair{}, ErrConcurrentUpdate)
+				return
+			}
 			jp, ok := it.Next()
+			db.updateMu.RUnlock()
 			if !ok {
 				if err := it.Err(); err != nil {
 					yield(Pair{}, err)
 				}
 				return
 			}
+			pulled++
 			p := Pair{ID1: jp.SID, ID2: jp.TID, Distance: jp.Dist}
 			if cfg.pairFilter != nil && !cfg.pairFilter(p) {
 				continue
@@ -122,7 +151,10 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 // Deprecated: use Nearest, the range-over-func form. This wrapper drives
 // the same machinery with a background context.
 type NearestIterator struct {
+	db    *Database
+	gen   uint64
 	inner *core.NNIterator
+	err   error
 }
 
 // NearestIterator starts an incremental nearest-neighbor search on the
@@ -134,13 +166,25 @@ func (db *Database) NearestIterator(dataset string, q Point) (*NearestIterator, 
 	if err != nil {
 		return nil, err
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(context.Background())
-	return &NearestIterator{inner: sess.NearestIterator(ps, q)}, nil
+	return &NearestIterator{db: db, gen: db.generation(), inner: sess.NearestIterator(ps, q)}, nil
 }
 
 // Next returns the next entity by obstructed distance; ok is false when the
 // dataset is exhausted or an error occurred (check Err).
 func (it *NearestIterator) Next() (Neighbor, bool) {
+	if it.err != nil {
+		return Neighbor{}, false
+	}
+	it.db.updateMu.RLock()
+	defer it.db.updateMu.RUnlock()
+	if it.db.generation() != it.gen {
+		it.err = ErrConcurrentUpdate
+		it.inner.Stop()
+		return Neighbor{}, false
+	}
 	r, ok := it.inner.Next()
 	if !ok {
 		return Neighbor{}, false
@@ -148,8 +192,14 @@ func (it *NearestIterator) Next() (Neighbor, bool) {
 	return Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}, true
 }
 
-// Err returns the first error encountered, if any.
-func (it *NearestIterator) Err() error { return it.inner.Err() }
+// Err returns the first error encountered, if any (ErrConcurrentUpdate when
+// a mutation committed mid-iteration).
+func (it *NearestIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.inner.Err()
+}
 
 // Stop publishes an abandoned iterator's work to the engine's cumulative
 // counters; exhausting the iterator does the same automatically.
@@ -161,7 +211,10 @@ func (it *NearestIterator) Stop() { it.inner.Stop() }
 // Deprecated: use Closest, the range-over-func form. This wrapper drives
 // the same machinery with a background context.
 type ClosestPairIterator struct {
+	db    *Database
+	gen   uint64
 	inner *core.CPIterator
+	err   error
 }
 
 // ClosestPairIterator starts an incremental closest-pair search between the
@@ -177,17 +230,29 @@ func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPair
 	if err != nil {
 		return nil, err
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(context.Background())
 	inner, err := sess.ClosestPairIterator(s, t)
 	if err != nil {
 		return nil, err
 	}
-	return &ClosestPairIterator{inner: inner}, nil
+	return &ClosestPairIterator{db: db, gen: db.generation(), inner: inner}, nil
 }
 
 // Next returns the next pair by obstructed distance; ok is false when the
 // pairs are exhausted or an error occurred (check Err).
 func (it *ClosestPairIterator) Next() (Pair, bool) {
+	if it.err != nil {
+		return Pair{}, false
+	}
+	it.db.updateMu.RLock()
+	defer it.db.updateMu.RUnlock()
+	if it.db.generation() != it.gen {
+		it.err = ErrConcurrentUpdate
+		it.inner.Stop()
+		return Pair{}, false
+	}
 	p, ok := it.inner.Next()
 	if !ok {
 		return Pair{}, false
@@ -195,8 +260,14 @@ func (it *ClosestPairIterator) Next() (Pair, bool) {
 	return Pair{ID1: p.SID, ID2: p.TID, Distance: p.Dist}, true
 }
 
-// Err returns the first error encountered, if any.
-func (it *ClosestPairIterator) Err() error { return it.inner.Err() }
+// Err returns the first error encountered, if any (ErrConcurrentUpdate when
+// a mutation committed mid-iteration).
+func (it *ClosestPairIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.inner.Err()
+}
 
 // Stop publishes an abandoned iterator's work to the engine's cumulative
 // counters; exhausting the iterator does the same automatically.

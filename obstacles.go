@@ -2,10 +2,12 @@ package obstacles
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -42,11 +44,26 @@ func DefaultOptions() Options {
 	return Options{PageSize: pagefile.DefaultPageSize, BufferFraction: 0.10}
 }
 
+// validate rejects out-of-range option values with a descriptive error.
+// Zero values mean "use the default" and pass; anything else out of range is
+// a caller bug that used to be silently coerced to the paper's defaults.
+func (o Options) validate() error {
+	if o.PageSize < 0 {
+		return fmt.Errorf("obstacles: Options.PageSize %d is negative; use 0 for the default (%d)", o.PageSize, pagefile.DefaultPageSize)
+	}
+	// Written to reject NaN too: NaN fails every comparison, so a plain
+	// range check would wave it through into the buffer sizing.
+	if o.BufferFraction != 0 && !(o.BufferFraction > 0 && o.BufferFraction <= 1) {
+		return fmt.Errorf("obstacles: Options.BufferFraction %g out of range (0, 1]; use 0 for the default (0.10)", o.BufferFraction)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
-	if o.PageSize <= 0 {
+	if o.PageSize == 0 {
 		o.PageSize = pagefile.DefaultPageSize
 	}
-	if o.BufferFraction <= 0 || o.BufferFraction > 1 {
+	if o.BufferFraction == 0 {
 		o.BufferFraction = 0.10
 	}
 	if o.GraphCacheSize == 0 {
@@ -100,6 +117,15 @@ type TreeStats struct {
 	Pages int
 }
 
+// ErrConcurrentUpdate is reported by incremental streams (Nearest, Closest,
+// and the deprecated iterator wrappers) whose underlying data was mutated
+// mid-stream by InsertPoints, DeletePoints, AddObstacles or RemoveObstacles.
+// One-shot query verbs never return it: they hold the database's update
+// read-lock for their whole call, so writers wait and every one-shot query
+// sees a consistent snapshot. A stream that fails this way should simply be
+// restarted against the updated database.
+var ErrConcurrentUpdate = errors.New("obstacles: concurrent update invalidated this query")
+
 // Database holds one obstacle set and any number of named point datasets,
 // all indexed by R*-trees over simulated disk pages with LRU buffers. It is
 // safe for concurrent use: any number of goroutines may query it in
@@ -108,6 +134,14 @@ type TreeStats struct {
 // verb takes a context whose cancellation aborts the query promptly with
 // ctx.Err(), and accepts functional options (WithStats, WithLimit,
 // WithFilter, WithPairFilter).
+//
+// Points and obstacles can be mutated in place (InsertPoints, DeletePoints,
+// AddObstacles, RemoveObstacles). Mutations serialize on an update lock
+// whose read side every query holds: a mutation waits for in-flight queries
+// to drain, commits atomically, and only then admits new queries, so
+// one-shot verbs always see the state entirely before or entirely after any
+// update. Incremental streams do not pin the database between pulls; a
+// stream overtaken by a mutation fails with ErrConcurrentUpdate.
 type Database struct {
 	opts    Options
 	engine  *core.Engine
@@ -115,12 +149,23 @@ type Database struct {
 
 	mu       sync.RWMutex
 	datasets map[string]*core.PointSet
+
+	// updateMu orders mutations against queries: every query verb holds the
+	// read side for its whole call; mutators hold the write side.
+	updateMu sync.RWMutex
+	// gen counts committed mutations; streams compare it per pull to detect
+	// updates that happened since they started.
+	gen atomic.Uint64
 }
 
 // NewDatabase builds a database over polygonal obstacles. Obstacles should
 // not overlap each other's interiors (touching is fine); see
-// Options.NaiveVisibility for heavily overlapping data.
+// Options.NaiveVisibility for heavily overlapping data. Out-of-range option
+// values are rejected with an error (zero values select the defaults).
 func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	obstSet, err := core.NewObstacleSet(opts.treeOptions(), polys, !opts.InsertLoad)
 	if err != nil {
@@ -162,9 +207,10 @@ func sizeBuffer(t *rtree.Tree, fraction float64) {
 	_ = t.PageFile().SetBufferPages(pages)
 }
 
-// AddDataset indexes a named point dataset. Entity i gets ID int64(i). The
-// dataset becomes visible to queries atomically once indexing completes;
-// queries on other datasets proceed concurrently.
+// AddDataset indexes a named point dataset. Entity i gets ID int64(i);
+// later InsertPoints/DeletePoints calls may make the id space sparse and
+// reuse freed ids. The dataset becomes visible to queries atomically once
+// indexing completes; queries on other datasets proceed concurrently.
 func (db *Database) AddDataset(name string, pts []Point) error {
 	db.mu.RLock()
 	_, exists := db.datasets[name]
@@ -200,8 +246,12 @@ func (db *Database) Datasets() []string {
 	return names
 }
 
-// NumObstacles returns the obstacle count.
-func (db *Database) NumObstacles() int { return db.obstSet.Len() }
+// NumObstacles returns the live obstacle count.
+func (db *Database) NumObstacles() int {
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
+	return db.obstSet.Len()
+}
 
 // HasDataset reports whether a dataset with the given name exists.
 func (db *Database) HasDataset(name string) bool {
@@ -218,6 +268,8 @@ func (db *Database) DatasetLen(name string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	return ps.Len(), nil
 }
 
@@ -231,6 +283,156 @@ func (db *Database) dataset(name string) (*core.PointSet, error) {
 	return ps, nil
 }
 
+// generation returns the number of mutations committed so far.
+func (db *Database) generation() uint64 { return db.gen.Load() }
+
+// InsertPoints adds entities to an existing dataset and returns their
+// assigned ids. Ids freed by DeletePoints are reused before the id space
+// grows, so sustained churn keeps ids (and the simulated page file) bounded.
+// The insert waits for in-flight queries to drain, commits atomically, and
+// fails any incremental stream still open with ErrConcurrentUpdate. Point
+// changes never invalidate cached visibility graphs: graphs hold obstacle
+// geometry only.
+func (db *Database) InsertPoints(name string, pts ...Point) ([]int64, error) {
+	ps, err := db.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	defer db.gen.Add(1)
+	ids, err := ps.Insert(pts)
+	if err != nil {
+		return ids, err
+	}
+	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	return ids, nil
+}
+
+// DeletePoints removes entities from a dataset by id (the ids returned by
+// AddDataset ordering or InsertPoints). All ids are validated before any is
+// removed, so an unknown id fails the whole call with no partial effect.
+// Deleted ids may be reused by later inserts.
+func (db *Database) DeletePoints(name string, ids ...int64) error {
+	ps, err := db.dataset(name)
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if !ps.Alive(id) {
+			return fmt.Errorf("obstacles: dataset %q has no entity %d", name, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("obstacles: duplicate entity id %d in delete", id)
+		}
+		seen[id] = true
+	}
+	defer db.gen.Add(1)
+	for _, id := range ids {
+		if err := ps.Delete(id); err != nil {
+			return err
+		}
+	}
+	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	return nil
+}
+
+// AddObstacles indexes new obstacles and returns their assigned ids (ids
+// freed by RemoveObstacles are reused). The update waits for in-flight
+// queries to drain, then drops exactly the cached visibility graphs whose
+// coverage disk intersects a new obstacle's MBR — graphs elsewhere keep
+// serving queries, which is what makes on-line graph construction pay off
+// under update workloads.
+func (db *Database) AddObstacles(polys ...Polygon) ([]int64, error) {
+	for i, pg := range polys {
+		if pg.NumVertices() < 3 {
+			return nil, fmt.Errorf("obstacles: obstacle %d has %d vertices; build it with NewPolygon", i, pg.NumVertices())
+		}
+	}
+	if len(polys) == 0 {
+		return nil, nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	defer db.gen.Add(1)
+	ids, err := db.obstSet.Add(polys)
+	for _, id := range ids {
+		db.engine.InvalidateObstacleRegion(db.obstSet.Polygon(id).Bounds())
+	}
+	if err != nil {
+		return ids, err
+	}
+	sizeBuffer(db.obstSet.Tree(), db.opts.BufferFraction)
+	return ids, nil
+}
+
+// AddObstacleRects is AddObstacles for rectangular obstacles (the paper's
+// street-MBR shape).
+func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
+	polys := make([]Polygon, len(rects))
+	for i, r := range rects {
+		if r.IsEmpty() {
+			return nil, fmt.Errorf("obstacles: obstacle rect %d is empty", i)
+		}
+		polys[i] = RectPolygon(r)
+	}
+	return db.AddObstacles(polys...)
+}
+
+// RemoveObstacles deletes obstacles by id (initial obstacles are numbered in
+// NewDatabase order; AddObstacles returns the ids it assigned). All ids are
+// validated before any is removed. Cached visibility graphs covering a
+// removed obstacle's MBR are dropped; the rest survive.
+func (db *Database) RemoveObstacles(ids ...int64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if !db.obstSet.Alive(id) {
+			return fmt.Errorf("obstacles: no obstacle with id %d", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("obstacles: duplicate obstacle id %d in remove", id)
+		}
+		seen[id] = true
+	}
+	defer db.gen.Add(1)
+	for _, id := range ids {
+		mbr, err := db.obstSet.Remove(id)
+		if err != nil {
+			return err
+		}
+		db.engine.InvalidateObstacleRegion(mbr)
+	}
+	sizeBuffer(db.obstSet.Tree(), db.opts.BufferFraction)
+	return nil
+}
+
+// CacheStats reports visibility-graph cache traffic: hits and misses on
+// acquire, LRU evictions, and entries invalidated by obstacle updates. All
+// zero when the cache is disabled (Options.GraphCacheSize < 0).
+type CacheStats = core.CacheStats
+
+// GraphCacheStats returns the engine's graph-cache counters. Invalidations
+// counts cached graphs dropped because an obstacle update touched their
+// coverage disk — the observable cost of AddObstacles/RemoveObstacles
+// beyond the R-tree writes.
+func (db *Database) GraphCacheStats() CacheStats {
+	return db.engine.GraphCacheStats()
+}
+
 // Range returns all entities of the dataset within obstructed distance
 // radius of q, sorted by distance (the OR algorithm of the paper).
 func (db *Database) Range(ctx context.Context, dataset string, q Point, radius float64, opts ...QueryOption) ([]Neighbor, error) {
@@ -240,6 +442,8 @@ func (db *Database) Range(ctx context.Context, dataset string, q Point, radius f
 	if err != nil {
 		return nil, err
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	res, st, err := sess.Range(ps, q, radius)
 	cfg.record(sess, st, start)
@@ -263,6 +467,8 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	if cfg.filter == nil {
 		res, st, err := sess.NearestNeighbors(ps, q, k)
@@ -285,11 +491,13 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	}
 	it := sess.NearestIterator(ps, q)
 	var out []Neighbor
+	pulled := 0
 	for len(out) < k {
 		r, ok := it.Next()
 		if !ok {
 			break
 		}
+		pulled++
 		nb := Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}
 		if cfg.filter(nb) {
 			out = append(out, nb)
@@ -297,7 +505,10 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	}
 	st := it.Stats()
 	st.Results = len(out)
-	st.FalseHits = st.Candidates - st.Results
+	// False hits are candidates the obstructed metric eliminated (retrieved
+	// in Euclidean order but never surfaced in obstructed order); entities
+	// the caller's filter rejected are true hits and must not count.
+	st.FalseHits = st.Candidates - pulled
 	cfg.record(sess, st, start)
 	if err := it.Err(); err != nil {
 		return nil, err
@@ -319,6 +530,8 @@ func (db *Database) DistanceJoin(ctx context.Context, dataset1, dataset2 string,
 	if err != nil {
 		return nil, err
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	res, st, err := sess.DistanceJoin(s, t, dist)
 	cfg.record(sess, st, start)
@@ -346,6 +559,8 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	if cfg.pairFilter == nil {
 		res, st, err := sess.ClosestPairs(s, t, k)
@@ -360,11 +575,13 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 		return nil, err
 	}
 	var out []Pair
+	pulled := 0
 	for len(out) < k {
 		jp, ok := it.Next()
 		if !ok {
 			break
 		}
+		pulled++
 		p := Pair{ID1: jp.SID, ID2: jp.TID, Distance: jp.Dist}
 		if cfg.pairFilter(p) {
 			out = append(out, p)
@@ -372,7 +589,9 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 	}
 	st := it.Stats()
 	st.Results = len(out)
-	st.FalseHits = st.Candidates - st.Results
+	// As in the filtered kNN path: filter-rejected pairs are true hits, not
+	// false hits; only candidates eliminated by obstructed distance count.
+	st.FalseHits = st.Candidates - pulled
 	cfg.record(sess, st, start)
 	if err := it.Err(); err != nil {
 		return nil, err
@@ -385,6 +604,8 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...QueryOption) (float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	d, st, err := sess.ObstructedDistance(a, b)
 	cfg.record(sess, st, start)
@@ -398,6 +619,8 @@ func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...
 func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...QueryOption) ([]Point, float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	sess := db.engine.NewSession(ctx)
 	path, d, st, err := sess.ObstructedPath(a, b)
 	cfg.record(sess, st, start)
@@ -408,6 +631,8 @@ func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...Quer
 // points can reach nothing: queries from them return no results and their
 // distances are Unreachable.
 func (db *Database) InsideObstacle(p Point) (bool, error) {
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
 	return db.engine.InsideObstacle(p)
 }
 

@@ -29,6 +29,15 @@
 // sequences: Nearest (entities by ascending obstructed distance) and
 // Closest (pairs, the iOCP algorithm).
 //
+// Points and obstacles mutate in place: InsertPoints/DeletePoints and
+// AddObstacles/RemoveObstacles update the R-trees directly, reusing freed
+// ids and pages so sustained churn stays bounded. Mutators wait for
+// in-flight queries to drain and commit atomically; one-shot verbs always
+// see a consistent snapshot, while an incremental stream overtaken by a
+// mutation fails with ErrConcurrentUpdate. Obstacle updates drop only the
+// cached visibility graphs whose coverage the change touches; point
+// updates never invalidate any graph.
+//
 // Quick start:
 //
 //	db, err := obstacles.NewDatabaseFromRects(streetMBRs, obstacles.DefaultOptions())
