@@ -8,10 +8,19 @@
 //
 //	obschurn -obstacles 1000 -entities 2000 -ops 2000 -mix 0.01 -parallel 4
 //	obschurn -mix 0.10 -parallel 1 -seed 7
+//	obschurn -db /tmp/churn.obs -mix 0.05 -ops 500
 //
 // Each worker reports its own per-query stats; the tool prints aggregate
 // queries/sec, page accesses, and the graph-cache counters (hits, misses,
 // invalidations) that show how far an obstacle update's damage spreads.
+//
+// The world and every worker's operation stream derive from -seed, so a
+// run with -parallel 1 is reproducible byte-for-byte; with more workers
+// each worker's stream is still seed-determined but their interleaving is
+// scheduler-dependent. With -db the same churn runs against a durable
+// database file (obstacles.Open): every update commits through the
+// write-ahead log, measuring the fsync cost of durability, and the file is
+// left behind for obsstore inspect/verify.
 package main
 
 import (
@@ -35,23 +44,41 @@ func main() {
 		ops      = flag.Int("ops", 2000, "operations per worker")
 		mix      = flag.Float64("mix", 0.01, "fraction of operations that are updates (0..1)")
 		parallel = flag.Int("parallel", 4, "worker goroutines")
-		seed     = flag.Int64("seed", 9, "world seed")
+		seed     = flag.Int64("seed", 9, "world and workload seed (byte-for-byte reproducible with -parallel 1)")
 		timeout  = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
+		dbPath   = flag.String("db", "", "churn a durable database file at this path instead of in memory (created if missing; updates commit through the WAL)")
 	)
 	flag.Parse()
 
 	world := dataset.Generate(dataset.DefaultConfig(*seed, *nObst))
-	db, err := obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions())
-	if err != nil {
+	var db *obstacles.Database
+	var err error
+	if *dbPath != "" {
+		if db, err = obstacles.Open(*dbPath, obstacles.DefaultOptions()); err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		if db.NumObstacles() == 0 {
+			if _, err := db.AddObstacleRects(world.Rects...); err != nil {
+				fatal(err)
+			}
+		}
+	} else if db, err = obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions()); err != nil {
 		fatal(err)
 	}
-	pts := world.Entities(world.EntityRand(2), *nPts)
-	if err := db.AddDataset("P", pts); err != nil {
-		fatal(err)
+	if !db.HasDataset("P") {
+		pts := world.Entities(world.EntityRand(2), *nPts)
+		if err := db.AddDataset("P", pts); err != nil {
+			fatal(err)
+		}
 	}
 	universe := world.Universe()
-	fmt.Printf("world: %d obstacles, %d entities, update mix %.1f%%, %d workers x %d ops\n",
-		db.NumObstacles(), *nPts, *mix*100, *parallel, *ops)
+	backend := "in-memory"
+	if *dbPath != "" {
+		backend = "durable " + *dbPath
+	}
+	fmt.Printf("world: %d obstacles, %d entities, update mix %.1f%%, %d workers x %d ops, seed %d, %s\n",
+		db.NumObstacles(), *nPts, *mix*100, *parallel, *ops, *seed, backend)
 
 	var (
 		wg          sync.WaitGroup
@@ -105,6 +132,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("final state: %d obstacles, %d entities\n", db.NumObstacles(), n)
+	if db.Persistent() {
+		pst := db.PersistStats()
+		fmt.Printf("durability: %d commits, %d checkpoints, wal %d bytes, %d file pages (%d pending write-back)\n",
+			pst.Commits, pst.Checkpoints, pst.WALBytes, pst.FilePages, pst.PendingPages)
+	}
 }
 
 // runOp performs one workload operation: with probability mix an update

@@ -65,6 +65,66 @@ func NewPointSet(opts rtree.Options, pts []geom.Point, bulk bool) (*PointSet, er
 	return &PointSet{tree: t, pts: cp}, nil
 }
 
+// maxAttachSlack bounds how far a catalog's id bound may exceed the live
+// item count. Ids are reused before the id space grows, so the bound never
+// legitimately exceeds the historical maximum live count; the slack keeps
+// a corrupted (or hostile) catalog from turning `make` into a panic or a
+// multi-terabyte allocation before the tree scan can cross-check anything.
+const maxAttachSlack = 1 << 24
+
+// validAttachBound sanity-checks a file-supplied id bound against the
+// attached tree's item count before any allocation sized by it.
+func validAttachBound(what string, idBound int64, items int) error {
+	if idBound < int64(items) || idBound > int64(items)+maxAttachSlack {
+		return fmt.Errorf("core: corrupt catalog: %s id bound %d for %d live items", what, idBound, items)
+	}
+	return nil
+}
+
+// AttachPointSet reconstructs a PointSet around a tree whose pages were
+// recovered from durable storage. Point coordinates are not serialized
+// separately: every leaf entry is a degenerate rectangle plus the entity
+// id, so one scan of the tree rebuilds the id -> point table, and the free
+// list is the complement of the scanned ids in [0, idBound).
+func AttachPointSet(t *rtree.Tree, idBound int64) (*PointSet, error) {
+	if err := validAttachBound("dataset", idBound, t.Len()); err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, idBound)
+	seen := make([]bool, idBound)
+	items, err := t.All()
+	if err != nil {
+		return nil, fmt.Errorf("core: scanning point tree: %w", err)
+	}
+	if len(items) != t.Len() {
+		return nil, fmt.Errorf("core: point tree scan found %d items, tree says %d", len(items), t.Len())
+	}
+	for _, it := range items {
+		id := it.Data
+		if id < 0 || id >= idBound {
+			return nil, fmt.Errorf("core: point tree has entity id %d outside [0, %d)", id, idBound)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("core: point tree has duplicate entity id %d", id)
+		}
+		seen[id] = true
+		pts[id] = geom.Pt(it.Rect.MinX, it.Rect.MinY)
+	}
+	s := &PointSet{tree: t, pts: pts}
+	for id := int64(idBound) - 1; id >= 0; id-- {
+		if !seen[id] {
+			if s.dead == nil {
+				s.dead = make([]bool, idBound)
+			}
+			s.dead[id] = true
+			// Descending append means the lowest free id is popped first,
+			// matching the reader-friendly "reuse small ids" tendency.
+			s.free = append(s.free, id)
+		}
+	}
+	return s, nil
+}
+
 // Tree returns the underlying R-tree.
 func (s *PointSet) Tree() *rtree.Tree { return s.tree }
 
@@ -194,6 +254,41 @@ func NewObstacleSet(opts rtree.Options, polys []geom.Polygon, bulk bool) (*Obsta
 	return &ObstacleSet{tree: t, polys: cp}, nil
 }
 
+// AttachObstacleSet reconstructs an ObstacleSet around a recovered tree and
+// the catalog's live-polygon table (id -> vertices). Ids absent from the
+// table inside [0, idBound) become the free list; gen restores the mutation
+// counter so cache staleness stamps keep increasing across restarts.
+func AttachObstacleSet(t *rtree.Tree, polys map[int64][]geom.Point, idBound int64, gen uint64) (*ObstacleSet, error) {
+	if t.Len() != len(polys) {
+		return nil, fmt.Errorf("core: obstacle tree has %d items, catalog has %d polygons", t.Len(), len(polys))
+	}
+	if err := validAttachBound("obstacle", idBound, len(polys)); err != nil {
+		return nil, err
+	}
+	o := &ObstacleSet{tree: t, polys: make([]geom.Polygon, idBound)}
+	for id, v := range polys {
+		if id < 0 || id >= idBound {
+			return nil, fmt.Errorf("core: obstacle id %d outside [0, %d)", id, idBound)
+		}
+		pg, err := geom.NewPolygon(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: obstacle %d: %w", id, err)
+		}
+		o.polys[id] = pg
+	}
+	for id := idBound - 1; id >= 0; id-- {
+		if _, live := polys[id]; !live {
+			if o.dead == nil {
+				o.dead = make([]bool, idBound)
+			}
+			o.dead[id] = true
+			o.free = append(o.free, id)
+		}
+	}
+	o.gen.Store(gen)
+	return o, nil
+}
+
 // Tree returns the underlying R-tree.
 func (o *ObstacleSet) Tree() *rtree.Tree { return o.tree }
 
@@ -202,6 +297,9 @@ func (o *ObstacleSet) Polygon(id int64) geom.Polygon { return o.polys[id] }
 
 // Len returns the number of live obstacles.
 func (o *ObstacleSet) Len() int { return len(o.polys) - len(o.free) }
+
+// IDBound returns the exclusive upper bound of obstacle ids ever assigned.
+func (o *ObstacleSet) IDBound() int64 { return int64(len(o.polys)) }
 
 // Generation returns the mutation counter: it increases on every Add or
 // Remove, so a visibility graph stamped with an older generation may reflect

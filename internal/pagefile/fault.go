@@ -1,0 +1,56 @@
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjectedFault is the error produced by FaultStorage once its write
+// budget is exhausted.
+var ErrInjectedFault = errors.New("pagefile: injected fault")
+
+// FaultStorage wraps a Storage and kills every WritePage after the first N
+// have succeeded, simulating a disk that dies mid-workload. Reads and
+// allocation are unaffected. The crash-recovery tests wrap the durable
+// backend with it (at every N in turn) and verify that reopening the file
+// recovers exactly the committed state.
+type FaultStorage struct {
+	inner  Storage
+	writes atomic.Int64
+	limit  int64
+}
+
+// NewFaultStorage returns a wrapper whose first failAfter WritePage calls
+// succeed and all later ones fail with ErrInjectedFault.
+func NewFaultStorage(inner Storage, failAfter int64) *FaultStorage {
+	return &FaultStorage{inner: inner, limit: failAfter}
+}
+
+// Writes returns the number of WritePage calls attempted so far.
+func (f *FaultStorage) Writes() int64 { return f.writes.Load() }
+
+// PageSize implements Storage.
+func (f *FaultStorage) PageSize() int { return f.inner.PageSize() }
+
+// NumPages implements Storage.
+func (f *FaultStorage) NumPages() int { return f.inner.NumPages() }
+
+// Allocate implements Storage.
+func (f *FaultStorage) Allocate() (PageID, error) { return f.inner.Allocate() }
+
+// Free implements Storage.
+func (f *FaultStorage) Free(id PageID) error { return f.inner.Free(id) }
+
+// ReadPage implements Storage.
+func (f *FaultStorage) ReadPage(id PageID, dst []byte) error {
+	return f.inner.ReadPage(id, dst)
+}
+
+// WritePage implements Storage, failing once the write budget is spent.
+func (f *FaultStorage) WritePage(id PageID, data []byte) error {
+	if f.writes.Add(1) > f.limit {
+		return fmt.Errorf("%w: write %d to page %d", ErrInjectedFault, f.writes.Load(), id)
+	}
+	return f.inner.WritePage(id, data)
+}

@@ -1,0 +1,293 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Superblock is the fixed-size header at offset 0 of a durable page file.
+// It records the page size, the allocation frontier, the commit sequence
+// number, and the roots of the two catalog blob chains. The free list
+// itself lives inside the state blob (it is unbounded), so the superblock
+// always fits well within one page.
+type Superblock struct {
+	PageSize  int
+	Next      PageID // lowest never-allocated page id
+	Seq       uint64 // commit sequence number
+	State     BlobRef
+	Obstacles BlobRef
+}
+
+// BlobRef locates a catalog blob: the first page of its chain, its exact
+// byte length, and a CRC over its content.
+type BlobRef struct {
+	Root PageID
+	Len  uint64
+	CRC  uint32
+}
+
+const (
+	superMagic   = "OBSDBF1\n"
+	superVersion = 1
+	// superblockSize is the encoded size: magic(8) + version(4) + pageSize(4)
+	// + next(4) + seq(8) + 2*blobRef(16) + crc(4).
+	superblockSize = 8 + 4 + 4 + 4 + 8 + 2*16 + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadSuperblock reports a missing or corrupt superblock on open.
+var ErrBadSuperblock = errors.New("pagefile: bad superblock")
+
+// ErrFileLocked reports that another process (or another handle in this
+// process) already has the database file open. Two live handles would both
+// replay and append to the WAL, corrupting the database, so every open
+// takes an exclusive flock for the lifetime of the handle.
+var ErrFileLocked = errors.New("pagefile: database file is locked by another handle")
+
+func putBlobRef(b []byte, r BlobRef) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(r.Root))
+	binary.LittleEndian.PutUint64(b[4:12], r.Len)
+	binary.LittleEndian.PutUint32(b[12:16], r.CRC)
+}
+
+func getBlobRef(b []byte) BlobRef {
+	return BlobRef{
+		Root: PageID(binary.LittleEndian.Uint32(b[0:4])),
+		Len:  binary.LittleEndian.Uint64(b[4:12]),
+		CRC:  binary.LittleEndian.Uint32(b[12:16]),
+	}
+}
+
+// EncodeSuperblock serializes sb with a trailing CRC.
+func EncodeSuperblock(sb Superblock) []byte {
+	b := make([]byte, superblockSize)
+	copy(b[0:8], superMagic)
+	binary.LittleEndian.PutUint32(b[8:12], superVersion)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(sb.PageSize))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(sb.Next))
+	binary.LittleEndian.PutUint64(b[20:28], sb.Seq)
+	putBlobRef(b[28:44], sb.State)
+	putBlobRef(b[44:60], sb.Obstacles)
+	binary.LittleEndian.PutUint32(b[60:64], crc32.Checksum(b[:60], crcTable))
+	return b
+}
+
+// DecodeSuperblock parses and validates a superblock image.
+func DecodeSuperblock(b []byte) (Superblock, error) {
+	if len(b) < superblockSize {
+		return Superblock{}, fmt.Errorf("%w: %d bytes", ErrBadSuperblock, len(b))
+	}
+	if string(b[0:8]) != superMagic {
+		return Superblock{}, fmt.Errorf("%w: bad magic %q", ErrBadSuperblock, b[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != superVersion {
+		return Superblock{}, fmt.Errorf("%w: version %d", ErrBadSuperblock, v)
+	}
+	if got, want := crc32.Checksum(b[:60], crcTable), binary.LittleEndian.Uint32(b[60:64]); got != want {
+		return Superblock{}, fmt.Errorf("%w: checksum mismatch", ErrBadSuperblock)
+	}
+	return Superblock{
+		PageSize:  int(binary.LittleEndian.Uint32(b[12:16])),
+		Next:      PageID(binary.LittleEndian.Uint32(b[16:20])),
+		Seq:       binary.LittleEndian.Uint64(b[20:28]),
+		State:     getBlobRef(b[28:44]),
+		Obstacles: getBlobRef(b[44:60]),
+	}, nil
+}
+
+// FileStorage is a Storage over a real file: page id N lives at byte offset
+// N*PageSize (the superblock occupies the page-0 slot), read and written
+// with pread/pwrite. Allocation state — the frontier and the free list — is
+// kept in memory and persisted by the durability layer: the frontier in the
+// superblock, the free list in the catalog's state blob. FileStorage alone
+// is therefore crash-unsafe; the WAL-coordinated layer above it (TxStorage
+// plus the database commit protocol) provides atomicity.
+//
+// Unlike MemStorage, FileStorage does not validate that a read or written
+// page was allocated — WAL replay writes committed page images into a file
+// whose in-memory allocation state is still the checkpointed one.
+type FileStorage struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	pageSize int
+	next     PageID
+	free     []PageID
+	freeSet  map[PageID]struct{}
+}
+
+// OpenFileStorage opens (creating if needed) the page file at path and
+// returns it with its superblock and whether the file was freshly created.
+// For an existing file the superblock's page size wins; pageSize (when
+// non-zero) must then agree. For a new file pageSize selects the page size
+// (0 means DefaultPageSize) and a fresh superblock is written and synced.
+func OpenFileStorage(path string, pageSize int) (*FileStorage, Superblock, bool, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, Superblock{}, false, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, Superblock{}, false, fmt.Errorf("%s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, Superblock{}, false, err
+	}
+	fs := &FileStorage{f: f, path: path, freeSet: make(map[PageID]struct{})}
+	if st.Size() == 0 {
+		if pageSize == 0 {
+			pageSize = DefaultPageSize
+		}
+		if pageSize < superblockSize {
+			f.Close()
+			return nil, Superblock{}, false, fmt.Errorf("pagefile: page size %d smaller than superblock", pageSize)
+		}
+		fs.pageSize = pageSize
+		fs.next = 1
+		sb := Superblock{PageSize: pageSize, Next: 1}
+		if err := fs.WriteSuperblock(sb); err != nil {
+			f.Close()
+			return nil, Superblock{}, false, err
+		}
+		if err := fs.Sync(); err != nil {
+			f.Close()
+			return nil, Superblock{}, false, err
+		}
+		return fs, sb, true, nil
+	}
+	buf := make([]byte, superblockSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, Superblock{}, false, fmt.Errorf("pagefile: reading superblock: %w", err)
+	}
+	sb, err := DecodeSuperblock(buf)
+	if err != nil {
+		f.Close()
+		return nil, Superblock{}, false, err
+	}
+	if pageSize != 0 && pageSize != sb.PageSize {
+		f.Close()
+		return nil, Superblock{}, false, fmt.Errorf("pagefile: file %s has page size %d, options ask for %d", path, sb.PageSize, pageSize)
+	}
+	fs.pageSize = sb.PageSize
+	fs.next = sb.Next
+	return fs, sb, false, nil
+}
+
+// WriteSuperblock overwrites the on-disk superblock (no fsync; callers sync
+// explicitly at checkpoint boundaries).
+func (fs *FileStorage) WriteSuperblock(sb Superblock) error {
+	sb.PageSize = fs.pageSize
+	_, err := fs.f.WriteAt(EncodeSuperblock(sb), 0)
+	return err
+}
+
+// Sync fsyncs the data file.
+func (fs *FileStorage) Sync() error { return fs.f.Sync() }
+
+// Close closes the data file.
+func (fs *FileStorage) Close() error { return fs.f.Close() }
+
+// SetAllocState installs the recovered allocation state: the frontier from
+// the superblock and the free list from the catalog's state blob.
+func (fs *FileStorage) SetAllocState(next PageID, free []PageID) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if next < 1 {
+		next = 1
+	}
+	fs.next = next
+	fs.free = append(fs.free[:0], free...)
+	fs.freeSet = make(map[PageID]struct{}, len(free))
+	for _, id := range free {
+		fs.freeSet[id] = struct{}{}
+	}
+}
+
+// AllocState returns a snapshot of the allocation state for serialization
+// into a commit's superblock and state blob.
+func (fs *FileStorage) AllocState() (next PageID, free []PageID) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.next, append([]PageID(nil), fs.free...)
+}
+
+// PageSize implements Storage.
+func (fs *FileStorage) PageSize() int { return fs.pageSize }
+
+// NumPages implements Storage: allocated pages, i.e. the frontier minus the
+// free list.
+func (fs *FileStorage) NumPages() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int(fs.next) - 1 - len(fs.free)
+}
+
+// Allocate implements Storage. The file itself grows lazily on first write.
+func (fs *FileStorage) Allocate() (PageID, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n := len(fs.free); n > 0 {
+		id := fs.free[n-1]
+		fs.free = fs.free[:n-1]
+		delete(fs.freeSet, id)
+		return id, nil
+	}
+	id := fs.next
+	fs.next++
+	return id, nil
+}
+
+// Free implements Storage. Only the in-memory free list changes; the freed
+// page's bytes stay in the file until reuse.
+func (fs *FileStorage) Free(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id == InvalidPage || id >= fs.next {
+		return fmt.Errorf("%w: free %d", ErrPageNotFound, id)
+	}
+	if _, dup := fs.freeSet[id]; dup {
+		return fmt.Errorf("pagefile: double free of page %d", id)
+	}
+	fs.free = append(fs.free, id)
+	fs.freeSet[id] = struct{}{}
+	return nil
+}
+
+// ReadPage implements Storage with pread. Reads past the end of the file
+// return zeroed pages: allocation grows the file lazily, so a page can be
+// allocated (and its zero image sit in the transactional overlay) before
+// any byte of it reaches disk.
+func (fs *FileStorage) ReadPage(id PageID, dst []byte) error {
+	if id == InvalidPage {
+		return fmt.Errorf("%w: read %d", ErrPageNotFound, id)
+	}
+	n, err := fs.f.ReadAt(dst[:fs.pageSize], int64(id)*int64(fs.pageSize))
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		for i := n; i < fs.pageSize; i++ {
+			dst[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WritePage implements Storage with pwrite, growing the file as needed.
+func (fs *FileStorage) WritePage(id PageID, data []byte) error {
+	if id == InvalidPage {
+		return fmt.Errorf("%w: write %d", ErrPageNotFound, id)
+	}
+	if len(data) != fs.pageSize {
+		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), fs.pageSize)
+	}
+	_, err := fs.f.WriteAt(data, int64(id)*int64(fs.pageSize))
+	return err
+}

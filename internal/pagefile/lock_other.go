@@ -1,0 +1,9 @@
+//go:build !unix
+
+package pagefile
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; concurrent opens of the
+// same database file are then the caller's responsibility.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package pagefile
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on f, enforcing
+// the single-writer-process contract of a durable database file. The lock
+// dies with the file descriptor, so a crashed process never wedges the
+// file.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return ErrFileLocked
+		}
+		return err
+	}
+	return nil
+}

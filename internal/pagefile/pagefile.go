@@ -1,12 +1,25 @@
-// Package pagefile simulates the disk layer of a spatial database: a file of
+// Package pagefile is the disk layer of the spatial database: a file of
 // fixed-size pages accessed through an LRU buffer pool. The experiments of
 // the paper measure "page accesses" — reads that miss the buffer — and this
 // package provides exactly those counters (Stats.PhysicalReads).
 //
-// A File couples a Storage backend with a write-back LRU buffer. The default
-// backend keeps pages in memory, which preserves the paper's cost model
-// (page granularity + buffer hits) without real disk latency; alternative
-// backends can be supplied for durability or fault-injection tests.
+// A File couples a Storage backend with a write-back LRU buffer. Two
+// backends implement Storage:
+//
+//   - MemStorage keeps pages in memory. It preserves the paper's cost model
+//     (page granularity, buffer hits) without real disk latency and is the
+//     backend behind NewDatabase — a database that rebuilds from source
+//     data on every start.
+//   - FileStorage stores pages in a real file with pread/pwrite under a
+//     superblock, the backend behind the durable obstacles.Open. It is
+//     composed with TxStorage, a transactional overlay that defers all page
+//     write-back until a checkpoint so that the write-ahead log (package
+//     wal) is the only thing that must reach disk on commit; a crash
+//     recovers by replaying committed WAL records over the checkpointed
+//     file.
+//
+// FaultStorage wraps any backend and kills writes after a configurable
+// budget, driving the crash-recovery and fault-injection tests.
 package pagefile
 
 import (

@@ -1,0 +1,157 @@
+package pagefile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageWrite is one captured page image, as handed to the write-ahead log.
+type PageWrite struct {
+	ID   PageID
+	Data []byte
+}
+
+// TxStorage is the transactional overlay of the durable backend. Writes are
+// buffered in memory instead of reaching the backing store, so the data
+// file on disk only ever contains checkpointed state:
+//
+//   - WritePage stores the image in the pending overlay; ReadPage serves
+//     pending images first, falling through to the backing store.
+//   - CaptureDirty drains the set of pages written since the last capture —
+//     the images the database appends to the WAL at each commit.
+//   - Apply (the checkpoint step) writes every pending image through to the
+//     backing store and clears the overlay.
+//
+// A crash at any point therefore loses only the overlay; the WAL replays
+// every committed image over the checkpointed file. Allocation is delegated
+// to the backing store, whose allocation state is volatile until a commit
+// serializes it (see FileStorage). TxStorage is safe for concurrent use by
+// the per-tree buffer pools layered above it.
+type TxStorage struct {
+	mu      sync.Mutex
+	inner   Storage
+	pending map[PageID][]byte
+	dirty   map[PageID]struct{}
+}
+
+// NewTxStorage returns a transactional overlay over inner.
+func NewTxStorage(inner Storage) *TxStorage {
+	return &TxStorage{
+		inner:   inner,
+		pending: make(map[PageID][]byte),
+		dirty:   make(map[PageID]struct{}),
+	}
+}
+
+// PageSize implements Storage.
+func (t *TxStorage) PageSize() int { return t.inner.PageSize() }
+
+// NumPages implements Storage.
+func (t *TxStorage) NumPages() int { return t.inner.NumPages() }
+
+// Allocate implements Storage. The fresh page is seeded as a zero image in
+// the overlay, giving allocated-but-unwritten pages the same zeroed
+// semantics as MemStorage regardless of what old bytes the file holds.
+func (t *TxStorage) Allocate() (PageID, error) {
+	id, err := t.inner.Allocate()
+	if err != nil {
+		return id, err
+	}
+	t.mu.Lock()
+	t.pending[id] = make([]byte, t.inner.PageSize())
+	t.dirty[id] = struct{}{}
+	t.mu.Unlock()
+	return id, nil
+}
+
+// Free implements Storage. The page leaves the overlay and the dirty set:
+// its content no longer matters, and the free list travels in the commit's
+// state blob rather than as a logged page image.
+func (t *TxStorage) Free(id PageID) error {
+	if err := t.inner.Free(id); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	delete(t.pending, id)
+	delete(t.dirty, id)
+	t.mu.Unlock()
+	return nil
+}
+
+// ReadPage implements Storage: overlay first, then the backing store.
+func (t *TxStorage) ReadPage(id PageID, dst []byte) error {
+	t.mu.Lock()
+	if p, ok := t.pending[id]; ok {
+		copy(dst, p)
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	return t.inner.ReadPage(id, dst)
+}
+
+// WritePage implements Storage: the image is stored in the overlay (the
+// backing store is untouched until Apply).
+func (t *TxStorage) WritePage(id PageID, data []byte) error {
+	if len(data) != t.inner.PageSize() {
+		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), t.inner.PageSize())
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.mu.Lock()
+	t.pending[id] = cp
+	t.dirty[id] = struct{}{}
+	t.mu.Unlock()
+	return nil
+}
+
+// CaptureDirty returns the images of every page written since the previous
+// capture, sorted by page id for deterministic WAL contents, and clears the
+// dirty set. The images remain in the overlay until Apply.
+func (t *TxStorage) CaptureDirty() []PageWrite {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.dirty) == 0 {
+		return nil
+	}
+	out := make([]PageWrite, 0, len(t.dirty))
+	for id := range t.dirty {
+		// A dirtied page may have been freed since; Free removes it from both
+		// maps, so every dirty id still has a pending image.
+		out = append(out, PageWrite{ID: id, Data: t.pending[id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	t.dirty = make(map[PageID]struct{})
+	return out
+}
+
+// PendingPages returns the number of committed-but-unapplied page images
+// held by the overlay (the memory cost of deferring write-back to the next
+// checkpoint).
+func (t *TxStorage) PendingPages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// Apply writes every pending image through to the backing store and clears
+// the overlay — the data-file half of a checkpoint. On error the overlay is
+// retained: every image is also in the WAL, so a partially applied
+// checkpoint is repaired by replay, and retrying Apply is idempotent.
+func (t *TxStorage) Apply() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]PageID, 0, len(t.pending))
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := t.inner.WritePage(id, t.pending[id]); err != nil {
+			return err
+		}
+	}
+	t.pending = make(map[PageID][]byte)
+	return nil
+}

@@ -176,8 +176,42 @@ func New(opts Options) (*Tree, error) {
 	return t, nil
 }
 
+// Attach re-opens a tree whose pages already live in opts.Storage — the
+// durable backend's cold-open path, which reads the root/height/size triple
+// from the catalog instead of bulk-loading. The root node is read once to
+// validate that the triple matches the stored pages.
+func Attach(opts Options, root pagefile.PageID, height, size int) (*Tree, error) {
+	if opts.Storage == nil {
+		return nil, fmt.Errorf("rtree: Attach requires an explicit Storage")
+	}
+	t, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	// New allocated a fresh root page for the empty tree; release it and
+	// point at the persisted root instead.
+	if err := t.pf.Free(t.root); err != nil {
+		return nil, err
+	}
+	if height < 1 || size < 0 {
+		return nil, fmt.Errorf("rtree: attach with height %d, size %d", height, size)
+	}
+	t.root, t.height, t.size = root, height, size
+	n, err := t.readNode(root)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: attach: %w", err)
+	}
+	if int(n.level) != height-1 {
+		return nil, fmt.Errorf("rtree: attach: root level %d does not match height %d", n.level, height)
+	}
+	return t, nil
+}
+
 // Len returns the number of data items in the tree.
 func (t *Tree) Len() int { return t.size }
+
+// Root returns the page id of the root node, for catalog serialization.
+func (t *Tree) Root() pagefile.PageID { return t.root }
 
 // Height returns the number of levels (1 when the root is a leaf).
 func (t *Tree) Height() int { return t.height }

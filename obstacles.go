@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/pagefile"
 	"repro/internal/rtree"
 )
@@ -37,6 +38,12 @@ type Options struct {
 	// Concurrent queries on overlapping regions serialize on the shared
 	// cached graph; disjoint regions run fully in parallel.
 	GraphCacheSize int
+	// WALCheckpointBytes is the write-ahead-log size at which a durable
+	// database (see Open) checkpoints automatically after a commit (default
+	// 4 MiB; negative disables auto-checkpointing, leaving the WAL to grow
+	// until an explicit Checkpoint or Close). Ignored by in-memory
+	// databases.
+	WALCheckpointBytes int64
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -68,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GraphCacheSize == 0 {
 		o.GraphCacheSize = 8
+	}
+	if o.WALCheckpointBytes == 0 {
+		o.WALCheckpointBytes = 4 << 20
 	}
 	return o
 }
@@ -156,14 +166,44 @@ type Database struct {
 	// gen counts committed mutations; streams compare it per pull to detect
 	// updates that happened since they started.
 	gen atomic.Uint64
+
+	// store is the durable backend (nil for in-memory databases built by
+	// NewDatabase). When set, every mutator commits through the write-ahead
+	// log before returning; see Open.
+	store *durableStore
+}
+
+// ErrInvalidPolygon is the typed error wrapped by AddObstacles and
+// NewDatabase when an obstacle polygon is structurally unusable: fewer than
+// three vertices (the zero Polygon, or one bypassing NewPolygon) or a
+// degenerate area (collinear vertices), which would index an invisible
+// sliver that can never block a segment yet still costs every query.
+var ErrInvalidPolygon = errors.New("obstacles: invalid obstacle polygon")
+
+// validatePolygons rejects degenerate obstacles with a typed error instead
+// of silently indexing them.
+func validatePolygons(polys []Polygon) error {
+	for i, pg := range polys {
+		if pg.NumVertices() < 3 {
+			return fmt.Errorf("%w: obstacle %d has %d vertices; build it with NewPolygon", ErrInvalidPolygon, i, pg.NumVertices())
+		}
+		if pg.Area() <= geom.Eps {
+			return fmt.Errorf("%w: obstacle %d has degenerate area %g", ErrInvalidPolygon, i, pg.Area())
+		}
+	}
+	return nil
 }
 
 // NewDatabase builds a database over polygonal obstacles. Obstacles should
 // not overlap each other's interiors (touching is fine); see
 // Options.NaiveVisibility for heavily overlapping data. Out-of-range option
-// values are rejected with an error (zero values select the defaults).
+// values are rejected with an error (zero values select the defaults), as
+// are degenerate polygons (ErrInvalidPolygon).
 func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if err := validatePolygons(polys); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
@@ -207,10 +247,24 @@ func sizeBuffer(t *rtree.Tree, fraction float64) {
 	_ = t.PageFile().SetBufferPages(pages)
 }
 
+// treeOptions returns the R-tree configuration for this database's trees;
+// durable databases route all trees through the shared transactional
+// storage so every node page lives in the one data file.
+func (db *Database) treeOptions() rtree.Options {
+	o := db.opts.treeOptions()
+	if db.store != nil {
+		o.Storage = db.store.tx
+	}
+	return o
+}
+
 // AddDataset indexes a named point dataset. Entity i gets ID int64(i);
 // later InsertPoints/DeletePoints calls may make the id space sparse and
-// reuse freed ids. The dataset becomes visible to queries atomically once
-// indexing completes; queries on other datasets proceed concurrently.
+// reuse freed ids. For an in-memory database the dataset is built outside
+// any lock and becomes visible to queries atomically once indexing
+// completes; queries on other datasets proceed concurrently. A durable
+// database (Open) instead serializes the build with queries, so the pages
+// it allocates commit atomically with the catalog record that names them.
 func (db *Database) AddDataset(name string, pts []Point) error {
 	db.mu.RLock()
 	_, exists := db.datasets[name]
@@ -218,9 +272,10 @@ func (db *Database) AddDataset(name string, pts []Point) error {
 	if exists {
 		return fmt.Errorf("obstacles: dataset %q already exists", name)
 	}
-	// Build outside the lock: indexing thousands of points must not stall
-	// concurrent readers.
-	ps, err := core.NewPointSet(db.opts.treeOptions(), pts, !db.opts.InsertLoad)
+	if db.store != nil {
+		return db.addDatasetDurable(name, pts)
+	}
+	ps, err := core.NewPointSet(db.treeOptions(), pts, !db.opts.InsertLoad)
 	if err != nil {
 		return fmt.Errorf("obstacles: building dataset %q: %w", name, err)
 	}
@@ -232,6 +287,37 @@ func (db *Database) AddDataset(name string, pts []Point) error {
 	}
 	db.datasets[name] = ps
 	return nil
+}
+
+// addDatasetDurable builds and commits a dataset under the update lock.
+// The duplicate re-check happens before the build (adds serialize here, so
+// no racing build can slip past it), and a failed build frees every page
+// it allocated — otherwise the orphaned tree pages would be committed into
+// the file with nothing referencing them, a permanent leak.
+func (db *Database) addDatasetDurable(name string, pts []Point) error {
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	db.mu.RLock()
+	_, exists := db.datasets[name]
+	db.mu.RUnlock()
+	if exists {
+		return fmt.Errorf("obstacles: dataset %q already exists", name)
+	}
+	ps, err := core.NewPointSet(db.treeOptions(), pts, !db.opts.InsertLoad)
+	if err != nil {
+		// Every page dirtied since the last commit belongs to this failed
+		// build (mutators commit before releasing updateMu), so freeing the
+		// dirty set rolls the allocation back.
+		for _, w := range db.store.tx.CaptureDirty() {
+			_ = db.store.tx.Free(w.ID)
+		}
+		return fmt.Errorf("obstacles: building dataset %q: %w", name, err)
+	}
+	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	db.mu.Lock()
+	db.datasets[name] = ps
+	db.mu.Unlock()
+	return db.commitLocked(false)
 }
 
 // Datasets returns the names of the datasets added so far, sorted.
@@ -288,12 +374,13 @@ func (db *Database) generation() uint64 { return db.gen.Load() }
 
 // InsertPoints adds entities to an existing dataset and returns their
 // assigned ids. Ids freed by DeletePoints are reused before the id space
-// grows, so sustained churn keeps ids (and the simulated page file) bounded.
-// The insert waits for in-flight queries to drain, commits atomically, and
+// grows, so sustained churn keeps ids (and the page file) bounded. The
+// insert waits for in-flight queries to drain, commits atomically, and
 // fails any incremental stream still open with ErrConcurrentUpdate. Point
 // changes never invalidate cached visibility graphs: graphs hold obstacle
-// geometry only.
-func (db *Database) InsertPoints(name string, pts ...Point) ([]int64, error) {
+// geometry only. On a durable database the insert reaches the write-ahead
+// log (fsynced) before returning.
+func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
 		return nil, err
@@ -303,8 +390,9 @@ func (db *Database) InsertPoints(name string, pts ...Point) ([]int64, error) {
 	}
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
+	defer db.commitAfterUpdate(&err, false)
 	defer db.gen.Add(1)
-	ids, err := ps.Insert(pts)
+	ids, err = ps.Insert(pts)
 	if err != nil {
 		return ids, err
 	}
@@ -316,7 +404,7 @@ func (db *Database) InsertPoints(name string, pts ...Point) ([]int64, error) {
 // AddDataset ordering or InsertPoints). All ids are validated before any is
 // removed, so an unknown id fails the whole call with no partial effect.
 // Deleted ids may be reused by later inserts.
-func (db *Database) DeletePoints(name string, ids ...int64) error {
+func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
 		return err
@@ -336,6 +424,7 @@ func (db *Database) DeletePoints(name string, ids ...int64) error {
 		}
 		seen[id] = true
 	}
+	defer db.commitAfterUpdate(&err, false)
 	defer db.gen.Add(1)
 	for _, id := range ids {
 		if err := ps.Delete(id); err != nil {
@@ -347,24 +436,25 @@ func (db *Database) DeletePoints(name string, ids ...int64) error {
 }
 
 // AddObstacles indexes new obstacles and returns their assigned ids (ids
-// freed by RemoveObstacles are reused). The update waits for in-flight
-// queries to drain, then drops exactly the cached visibility graphs whose
-// coverage disk intersects a new obstacle's MBR — graphs elsewhere keep
-// serving queries, which is what makes on-line graph construction pay off
-// under update workloads.
-func (db *Database) AddObstacles(polys ...Polygon) ([]int64, error) {
-	for i, pg := range polys {
-		if pg.NumVertices() < 3 {
-			return nil, fmt.Errorf("obstacles: obstacle %d has %d vertices; build it with NewPolygon", i, pg.NumVertices())
-		}
+// freed by RemoveObstacles are reused). Degenerate polygons — fewer than
+// three vertices or a collinear (zero-area) outline — are rejected up
+// front with ErrInvalidPolygon and no partial effect. The update waits for
+// in-flight queries to drain, then drops exactly the cached visibility
+// graphs whose coverage disk intersects a new obstacle's MBR — graphs
+// elsewhere keep serving queries, which is what makes on-line graph
+// construction pay off under update workloads.
+func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
+	if err := validatePolygons(polys); err != nil {
+		return nil, err
 	}
 	if len(polys) == 0 {
 		return nil, nil
 	}
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
+	defer db.commitAfterUpdate(&err, true)
 	defer db.gen.Add(1)
-	ids, err := db.obstSet.Add(polys)
+	ids, err = db.obstSet.Add(polys)
 	for _, id := range ids {
 		db.engine.InvalidateObstacleRegion(db.obstSet.Polygon(id).Bounds())
 	}
@@ -392,7 +482,7 @@ func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
 // NewDatabase order; AddObstacles returns the ids it assigned). All ids are
 // validated before any is removed. Cached visibility graphs covering a
 // removed obstacle's MBR are dropped; the rest survive.
-func (db *Database) RemoveObstacles(ids ...int64) error {
+func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -408,6 +498,7 @@ func (db *Database) RemoveObstacles(ids ...int64) error {
 		}
 		seen[id] = true
 	}
+	defer db.commitAfterUpdate(&err, true)
 	defer db.gen.Add(1)
 	for _, id := range ids {
 		mbr, err := db.obstSet.Remove(id)

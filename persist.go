@@ -1,0 +1,556 @@
+package obstacles
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+	"repro/internal/rtree"
+	"repro/internal/wal"
+)
+
+// ErrDatabaseClosed is returned by mutators, Checkpoint and commit paths
+// after Close. Queries on a closed Database are undefined (warm buffers may
+// still answer some; cold reads fail on the closed file).
+var ErrDatabaseClosed = errors.New("obstacles: database is closed")
+
+// ErrNeedsReopen wraps the first durable-commit failure. Once a commit
+// could not reach the write-ahead log, the in-memory state is ahead of
+// anything recoverable, so the handle refuses further mutations; reopening
+// the file recovers the last committed state.
+var ErrNeedsReopen = errors.New("obstacles: durable state diverged, reopen the database")
+
+// PersistStats describes the durable backend of a Database.
+type PersistStats struct {
+	// Path is the data file; the write-ahead log lives at Path + ".wal".
+	Path string
+	// WALBytes is the durable length of the write-ahead log (zero right
+	// after a checkpoint).
+	WALBytes int64
+	// Commits and Checkpoints count durable commits and completed
+	// checkpoints over this handle's lifetime.
+	Commits, Checkpoints uint64
+	// FilePages is the number of allocated pages in the data file;
+	// PendingPages of them are committed to the WAL but not yet written
+	// back (they are applied at the next checkpoint).
+	FilePages, PendingPages int
+	// Seq is the commit sequence number of the current superblock.
+	Seq uint64
+	// LastCheckpointErr is the most recent automatic-checkpoint failure,
+	// nil once a later checkpoint succeeds. Auto-checkpoint errors never
+	// fail the mutator that triggered them (the mutation itself is already
+	// durable, and the checkpoint is retried); they surface here.
+	LastCheckpointErr error
+}
+
+// durableStore holds the persistence machinery of one open database file:
+// the raw page file, the transactional overlay all R-trees write through,
+// and the write-ahead log. See persist.go's commitLocked for the protocol.
+type durableStore struct {
+	path  string
+	fs    *pagefile.FileStorage
+	st    pagefile.Storage // fs, possibly fault-wrapped by tests
+	tx    *pagefile.TxStorage
+	log   *wal.Log
+	super pagefile.Superblock // current committed superblock
+
+	autoCheckpoint       int64
+	commits, checkpoints uint64
+	// lastCheckpointErr records the most recent auto-checkpoint failure
+	// (nil after any checkpoint succeeds); surfaced via PersistStats.
+	lastCheckpointErr error
+	broken            error
+	closed            bool
+}
+
+// openHooks lets tests interpose fault-injection wrappers between the
+// database and its files.
+type openHooks struct {
+	wrapStorage func(pagefile.Storage) pagefile.Storage
+	wrapWAL     func(wal.File) wal.File
+}
+
+// Open opens (creating if missing) a durable Database stored in the file at
+// path, with its write-ahead log at path + ".wal". Opening an existing file
+// skips bulk-loading entirely: trees re-attach to their pages, point sets
+// are recovered by scanning leaves, and obstacle polygons come from the
+// catalog. Any transactions committed to the WAL but not yet written back —
+// a crash between WAL append and page write-back — are replayed first, so
+// the database reopens at the last committed mutation.
+//
+// A Database from Open behaves like one from NewDatabase, except that every
+// mutator (InsertPoints, DeletePoints, AddObstacles, RemoveObstacles,
+// AddDataset) routes its page writes through the WAL — fsynced on commit —
+// and AddDataset serializes with queries while indexing. Close checkpoints
+// and releases the files; Checkpoint bounds the WAL and recovery time.
+//
+// For an existing file the page size recorded in it wins; Options.PageSize
+// must then be zero or agree.
+//
+// A database file admits one live handle at a time: Open takes an
+// exclusive flock on it (released by Close, or automatically when the
+// process dies), and a second Open — same process or another — fails with
+// an error wrapping pagefile.ErrFileLocked.
+func Open(path string, opts Options) (*Database, error) {
+	return openWithHooks(path, opts, openHooks{})
+}
+
+func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	fs, sb, created, err := pagefile.OpenFileStorage(path, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("obstacles: opening %s: %w", path, err)
+	}
+	opts.PageSize = sb.PageSize
+	opts = opts.withDefaults()
+
+	wf, wsize, err := wal.OpenOSFile(path + ".wal")
+	if err != nil {
+		fs.Close()
+		return nil, fmt.Errorf("obstacles: opening WAL: %w", err)
+	}
+	if hooks.wrapWAL != nil {
+		wf = hooks.wrapWAL(wf)
+	}
+	log := wal.NewLog(wf, wsize)
+	fail := func(err error) (*Database, error) {
+		log.Close()
+		fs.Close()
+		return nil, err
+	}
+
+	// Redo pass: apply every committed WAL transaction to the data file,
+	// finishing the checkpoint a crash interrupted. The torn tail past the
+	// last commit record is truncated by Replay.
+	replayed := 0
+	err = log.Replay(func(tx wal.Tx) error {
+		for _, p := range tx.Pages {
+			if len(p.Data) != sb.PageSize {
+				return fmt.Errorf("wal page %d has %d bytes, page size is %d", p.ID, len(p.Data), sb.PageSize)
+			}
+			if err := fs.WritePage(pagefile.PageID(p.ID), p.Data); err != nil {
+				return err
+			}
+		}
+		if tx.Meta != nil {
+			nsb, err := pagefile.DecodeSuperblock(tx.Meta)
+			if err != nil {
+				return err
+			}
+			sb = nsb
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return fail(fmt.Errorf("obstacles: replaying WAL for %s: %w", path, err))
+	}
+	if replayed > 0 {
+		if err := fs.WriteSuperblock(sb); err != nil {
+			return fail(fmt.Errorf("obstacles: recovering superblock: %w", err))
+		}
+		if err := fs.Sync(); err != nil {
+			return fail(err)
+		}
+		if err := log.Reset(); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Load the catalog. A root of zero means the file was created but never
+	// committed (or is brand new): start from an empty state.
+	state := &catalog.State{}
+	var obst *catalog.Obstacles
+	if sb.State.Root != pagefile.InvalidPage {
+		blob, err := catalog.ReadBlob(fs, sb.State)
+		if err != nil {
+			return fail(fmt.Errorf("obstacles: reading state catalog: %w", err))
+		}
+		if state, err = catalog.DecodeState(blob); err != nil {
+			return fail(err)
+		}
+	}
+	if sb.Obstacles.Root != pagefile.InvalidPage {
+		blob, err := catalog.ReadBlob(fs, sb.Obstacles)
+		if err != nil {
+			return fail(fmt.Errorf("obstacles: reading obstacle catalog: %w", err))
+		}
+		if obst, err = catalog.DecodeObstacles(blob); err != nil {
+			return fail(err)
+		}
+	}
+	fs.SetAllocState(sb.Next, state.PageFree)
+
+	var st pagefile.Storage = fs
+	if hooks.wrapStorage != nil {
+		st = hooks.wrapStorage(fs)
+	}
+	tx := pagefile.NewTxStorage(st)
+	topts := rtree.Options{PageSize: opts.PageSize, Storage: tx}
+
+	var obstSet *core.ObstacleSet
+	if obst == nil {
+		if obstSet, err = core.NewObstacleSet(topts, nil, false); err != nil {
+			return fail(fmt.Errorf("obstacles: building obstacle index: %w", err))
+		}
+	} else {
+		tree, err := rtree.Attach(topts, obst.Tree.Root, obst.Tree.Height, obst.Tree.Size)
+		if err != nil {
+			return fail(fmt.Errorf("obstacles: attaching obstacle tree: %w", err))
+		}
+		if obstSet, err = core.AttachObstacleSet(tree, obst.Polys, obst.IDBound, obst.Generation); err != nil {
+			return fail(err)
+		}
+	}
+	sizeBuffer(obstSet.Tree(), opts.BufferFraction)
+	eng := core.NewEngine(obstSet, core.EngineOptions{UseSweep: !opts.NaiveVisibility})
+	if opts.GraphCacheSize > 0 {
+		eng.EnableGraphCache(opts.GraphCacheSize)
+	}
+	db := &Database{
+		opts:     opts,
+		engine:   eng,
+		obstSet:  obstSet,
+		datasets: make(map[string]*core.PointSet),
+	}
+	db.gen.Store(state.Generation)
+	for _, ds := range state.Datasets {
+		tree, err := rtree.Attach(topts, ds.Tree.Root, ds.Tree.Height, ds.Tree.Size)
+		if err != nil {
+			return fail(fmt.Errorf("obstacles: attaching dataset %q: %w", ds.Name, err))
+		}
+		set, err := core.AttachPointSet(tree, ds.IDBound)
+		if err != nil {
+			return fail(fmt.Errorf("obstacles: recovering dataset %q: %w", ds.Name, err))
+		}
+		sizeBuffer(tree, opts.BufferFraction)
+		db.datasets[ds.Name] = set
+	}
+	db.store = &durableStore{
+		path:           path,
+		fs:             fs,
+		st:             st,
+		tx:             tx,
+		log:            log,
+		super:          sb,
+		autoCheckpoint: opts.WALCheckpointBytes,
+	}
+	if created || sb.State.Root == pagefile.InvalidPage {
+		// Commit the empty database so a crash right after Open reopens the
+		// same (empty) state, then checkpoint to start with an empty WAL.
+		db.updateMu.Lock()
+		err := db.commitLocked(true)
+		if err == nil {
+			err = db.checkpointLocked()
+		}
+		db.updateMu.Unlock()
+		if err != nil {
+			return fail(err)
+		}
+	}
+	return db, nil
+}
+
+// Persistent reports whether the database is backed by a durable file.
+func (db *Database) Persistent() bool { return db.store != nil }
+
+// PersistStats returns durability counters; the zero value for an in-memory
+// database.
+func (db *Database) PersistStats() PersistStats {
+	s := db.store
+	if s == nil {
+		return PersistStats{}
+	}
+	db.updateMu.RLock()
+	defer db.updateMu.RUnlock()
+	return PersistStats{
+		Path:              s.path,
+		WALBytes:          s.log.Size(),
+		Commits:           s.commits,
+		Checkpoints:       s.checkpoints,
+		FilePages:         s.fs.NumPages(),
+		PendingPages:      s.tx.PendingPages(),
+		Seq:               s.super.Seq,
+		LastCheckpointErr: s.lastCheckpointErr,
+	}
+}
+
+// Checkpoint writes every committed page back to the data file, fsyncs it,
+// and truncates the write-ahead log, bounding recovery time and WAL size.
+// It is a no-op on an in-memory database. A failed checkpoint leaves the
+// database fully usable: the WAL still covers everything, and the
+// checkpoint can simply be retried.
+func (db *Database) Checkpoint() error {
+	if db.store == nil {
+		return nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	return db.checkpointLocked()
+}
+
+// Close checkpoints (when healthy) and releases the data file and WAL. It
+// is a no-op on an in-memory database. After Close, mutators fail with
+// ErrDatabaseClosed and query behavior is undefined.
+func (db *Database) Close() error {
+	s := db.store
+	if s == nil {
+		return nil
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var firstErr error
+	if s.broken == nil {
+		firstErr = db.checkpointLocked()
+	}
+	if err := s.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.fs.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.closed = true
+	return firstErr
+}
+
+// commitAfterUpdate is deferred by every mutator: it makes the mutation
+// durable and, when the mutation itself succeeded but the commit failed,
+// surfaces the commit error instead.
+func (db *Database) commitAfterUpdate(errp *error, obstChanged bool) {
+	if db.store == nil {
+		return
+	}
+	if err := db.commitLocked(obstChanged); err != nil && *errp == nil {
+		*errp = err
+	}
+}
+
+// commitLocked makes the current in-memory state durable. Callers hold the
+// updateMu write side. The protocol:
+//
+//  1. rewrite the changed catalog blobs through the transactional overlay
+//     (the obstacle blob only when obstacles changed; the state blob —
+//     generation, page free list, dataset roots — every time),
+//  2. flush every tree's buffer pool, pushing dirty node pages into the
+//     overlay,
+//  3. append every page image written since the last commit to the WAL,
+//     followed by the new superblock and a commit record, and fsync.
+//
+// The data file itself is not touched — write-back happens at the next
+// checkpoint — so a crash at any point loses at most the uncommitted tail
+// of the WAL. A WAL append/fsync failure permanently breaks the handle
+// (ErrNeedsReopen): the in-memory state can no longer be made durable.
+func (db *Database) commitLocked(obstChanged bool) error {
+	s := db.store
+	if s.closed {
+		return ErrDatabaseClosed
+	}
+	if s.broken != nil {
+		return fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
+	}
+	breakWith := func(err error) error {
+		s.broken = err
+		return fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+	}
+	pageSize := s.fs.PageSize()
+
+	obstRef := s.super.Obstacles
+	if obstChanged || obstRef.Root == pagefile.InvalidPage {
+		var err error
+		if obstRef, err = db.replaceBlob(obstRef, db.encodeObstacles()); err != nil {
+			return breakWith(err)
+		}
+	}
+
+	if err := db.flushTreeBuffers(); err != nil {
+		return breakWith(err)
+	}
+
+	// The state blob contains the page free list, and storing the blob
+	// itself allocates pages, shrinking that list — so grow the chain until
+	// the encoding fits, allocating each round's full shortfall at once.
+	// Allocations only shrink the blob (or leave it unchanged when the file
+	// grows instead), so the need is non-increasing and this converges in a
+	// couple of iterations regardless of blob size.
+	if err := db.freeBlob(s.super.State); err != nil {
+		return breakWith(err)
+	}
+	var pages []pagefile.PageID
+	var data []byte
+	for {
+		_, free := s.fs.AllocState()
+		data = catalog.EncodeState(&catalog.State{
+			Generation: db.gen.Load(),
+			PageFree:   free,
+			Datasets:   db.datasetMetas(),
+		})
+		need := catalog.BlobPages(pageSize, len(data))
+		if need <= len(pages) {
+			break
+		}
+		for len(pages) < need {
+			id, err := s.tx.Allocate()
+			if err != nil {
+				return breakWith(err)
+			}
+			pages = append(pages, id)
+		}
+	}
+	stateRef, err := catalog.WriteBlob(s.tx, pages, data)
+	if err != nil {
+		return breakWith(err)
+	}
+
+	next, _ := s.fs.AllocState()
+	sb := pagefile.Superblock{
+		PageSize:  pageSize,
+		Next:      next,
+		Seq:       s.super.Seq + 1,
+		State:     stateRef,
+		Obstacles: obstRef,
+	}
+	for _, w := range s.tx.CaptureDirty() {
+		if err := s.log.AppendPage(uint32(w.ID), w.Data); err != nil {
+			return breakWith(err)
+		}
+	}
+	if err := s.log.AppendMeta(pagefile.EncodeSuperblock(sb)); err != nil {
+		return breakWith(err)
+	}
+	if err := s.log.Commit(sb.Seq); err != nil {
+		return breakWith(err)
+	}
+	s.super = sb
+	s.commits++
+
+	if s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
+		// The mutation is already durable, and a failed checkpoint loses
+		// nothing (the WAL still covers everything and the next threshold
+		// crossing, explicit Checkpoint, or Close retries it) — so a
+		// checkpoint error must not fail the mutator that triggered it.
+		// It is remembered for PersistStats instead.
+		s.lastCheckpointErr = db.checkpointLocked()
+	}
+	return nil
+}
+
+// checkpointLocked applies the overlay to the data file, persists the
+// superblock, fsyncs, and truncates the WAL. Every step before the WAL
+// truncation is redone by replay if interrupted, so a failure here never
+// loses committed state.
+func (db *Database) checkpointLocked() error {
+	s := db.store
+	if s.closed {
+		return ErrDatabaseClosed
+	}
+	if s.broken != nil {
+		return fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
+	}
+	if err := s.tx.Apply(); err != nil {
+		return fmt.Errorf("obstacles: checkpoint write-back: %w", err)
+	}
+	if err := s.fs.WriteSuperblock(s.super); err != nil {
+		return fmt.Errorf("obstacles: checkpoint superblock: %w", err)
+	}
+	if err := s.fs.Sync(); err != nil {
+		return fmt.Errorf("obstacles: checkpoint sync: %w", err)
+	}
+	if err := s.log.Reset(); err != nil {
+		return fmt.Errorf("obstacles: truncating WAL: %w", err)
+	}
+	s.checkpoints++
+	s.lastCheckpointErr = nil
+	return nil
+}
+
+// replaceBlob frees a blob's old chain and writes data as its replacement,
+// reusing the freed pages first.
+func (db *Database) replaceBlob(old pagefile.BlobRef, data []byte) (pagefile.BlobRef, error) {
+	if err := db.freeBlob(old); err != nil {
+		return pagefile.BlobRef{}, err
+	}
+	s := db.store
+	pages := make([]pagefile.PageID, catalog.BlobPages(s.fs.PageSize(), len(data)))
+	for i := range pages {
+		var err error
+		if pages[i], err = s.tx.Allocate(); err != nil {
+			return pagefile.BlobRef{}, err
+		}
+	}
+	return catalog.WriteBlob(s.tx, pages, data)
+}
+
+func (db *Database) freeBlob(ref pagefile.BlobRef) error {
+	s := db.store
+	chain, err := catalog.BlobChain(s.tx, ref)
+	if err != nil {
+		return err
+	}
+	for _, id := range chain {
+		if err := s.tx.Free(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushTreeBuffers pushes every tree's dirty buffer frames into the
+// transactional overlay so the commit captures them.
+func (db *Database) flushTreeBuffers() error {
+	if err := db.obstSet.Tree().PageFile().Flush(); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, ps := range db.datasets {
+		if err := ps.Tree().PageFile().Flush(); err != nil {
+			return fmt.Errorf("flushing dataset %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// datasetMetas snapshots the catalog records of every dataset, sorted by
+// name for deterministic blobs.
+func (db *Database) datasetMetas() []catalog.DatasetMeta {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	metas := make([]catalog.DatasetMeta, 0, len(db.datasets))
+	for name, ps := range db.datasets {
+		t := ps.Tree()
+		metas = append(metas, catalog.DatasetMeta{
+			Name:    name,
+			Tree:    catalog.TreeMeta{Root: t.Root(), Height: t.Height(), Size: t.Len()},
+			IDBound: ps.IDBound(),
+		})
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Name < metas[j].Name })
+	return metas
+}
+
+// encodeObstacles serializes the live obstacle polygons and tree location.
+func (db *Database) encodeObstacles() []byte {
+	o := db.obstSet
+	t := o.Tree()
+	polys := make(map[int64][]geom.Point)
+	for id := int64(0); id < o.IDBound(); id++ {
+		if o.Alive(id) {
+			polys[id] = o.Polygon(id).Vertices()
+		}
+	}
+	return catalog.EncodeObstacles(&catalog.Obstacles{
+		Tree:       catalog.TreeMeta{Root: t.Root(), Height: t.Height(), Size: t.Len()},
+		IDBound:    o.IDBound(),
+		Generation: o.Generation(),
+		Polys:      polys,
+	})
+}

@@ -1,0 +1,935 @@
+package obstacles
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/pagefile"
+	"repro/internal/wal"
+)
+
+// persistLoc is a location+distance key for id-free result comparison (the
+// durable and rebuilt databases assign different ids).
+type persistLoc struct{ x, y, d float64 }
+
+func persistKey(p Point, d float64) persistLoc {
+	return persistLoc{math.Round(p.X*1e6) / 1e6, math.Round(p.Y*1e6) / 1e6, math.Round(d*1e6) / 1e6}
+}
+
+func neighborKeys(nbs []Neighbor) ([]persistLoc, int) {
+	var out []persistLoc
+	inf := 0
+	for _, nb := range nbs {
+		if math.IsInf(nb.Distance, 1) {
+			inf++
+			continue
+		}
+		out = append(out, persistKey(nb.Point, nb.Distance))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.y < b.y
+	})
+	return out, inf
+}
+
+func pairDistKeys(ps []Pair) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = math.Round(p.Distance*1e6) / 1e6
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// assertVerbsMatch compares every query verb between a reopened durable
+// database and a reference rebuilt in memory from the committed state.
+// With full=true the joins, streams, path queries and clustering run too.
+func assertVerbsMatch(t *testing.T, label string, got, want *Database, queries []Point, full bool) {
+	t.Helper()
+	for _, q := range queries {
+		a, err := got.Range(ctx, "P", q, 150)
+		if err != nil {
+			t.Fatalf("%s: Range: %v", label, err)
+		}
+		b, err := want.Range(ctx, "P", q, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka, ia := neighborKeys(a)
+		kb, ib := neighborKeys(b)
+		if len(ka) != len(kb) || ia != ib {
+			t.Fatalf("%s: Range(%v): %d+%d results vs %d+%d", label, q, len(ka), ia, len(kb), ib)
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s: Range(%v) result %d: %+v vs %+v", label, q, i, ka[i], kb[i])
+			}
+		}
+		a, err = got.NearestNeighbors(ctx, "P", q, 4)
+		if err != nil {
+			t.Fatalf("%s: NN: %v", label, err)
+		}
+		b, err = want.NearestNeighbors(ctx, "P", q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ka, ia = neighborKeys(a)
+		kb, ib = neighborKeys(b)
+		if len(ka) != len(kb) || ia != ib {
+			t.Fatalf("%s: NN(%v): %d+%d results vs %d+%d", label, q, len(ka), ia, len(kb), ib)
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s: NN(%v) result %d: %+v vs %+v", label, q, i, ka[i], kb[i])
+			}
+		}
+		d1, err := got.ObstructedDistance(ctx, q, queries[0])
+		if err != nil {
+			t.Fatalf("%s: ObstructedDistance: %v", label, err)
+		}
+		d2, err := want.ObstructedDistance(ctx, q, queries[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 && math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("%s: ObstructedDistance(%v): %v vs %v", label, q, d1, d2)
+		}
+	}
+	if !full {
+		return
+	}
+	q := queries[0]
+	// Incremental stream.
+	var sa, sb []Neighbor
+	for nb, err := range got.Nearest(ctx, "P", q, WithLimit(5)) {
+		if err != nil {
+			t.Fatalf("%s: Nearest: %v", label, err)
+		}
+		sa = append(sa, nb)
+	}
+	for nb, err := range want.Nearest(ctx, "P", q, WithLimit(5)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb = append(sb, nb)
+	}
+	ka, ia := neighborKeys(sa)
+	kb, ib := neighborKeys(sb)
+	if len(ka) != len(kb) || ia != ib {
+		t.Fatalf("%s: Nearest stream: %d+%d vs %d+%d", label, len(ka), ia, len(kb), ib)
+	}
+	// Path length agrees with the distance verb.
+	_, pd, err := got.ObstructedPath(ctx, q, queries[1])
+	if err != nil {
+		t.Fatalf("%s: ObstructedPath: %v", label, err)
+	}
+	wd, err := want.ObstructedDistance(ctx, q, queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd != wd && math.Abs(pd-wd) > 1e-6 {
+		t.Fatalf("%s: path length %v vs distance %v", label, pd, wd)
+	}
+	// Join and closest pairs against the fixed T dataset.
+	ja, err := got.DistanceJoin(ctx, "P", "T", 120)
+	if err != nil {
+		t.Fatalf("%s: DistanceJoin: %v", label, err)
+	}
+	jb, err := want.DistanceJoin(ctx, "P", "T", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := pairDistKeys(ja), pairDistKeys(jb)
+	if len(da) != len(db) {
+		t.Fatalf("%s: DistanceJoin: %d vs %d pairs", label, len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("%s: DistanceJoin pair %d: %v vs %v", label, i, da[i], db[i])
+		}
+	}
+	ca, err := got.ClosestPairs(ctx, "P", "T", 6)
+	if err != nil {
+		t.Fatalf("%s: ClosestPairs: %v", label, err)
+	}
+	cb, err := want.ClosestPairs(ctx, "P", "T", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db = pairDistKeys(ca), pairDistKeys(cb)
+	if len(da) != len(db) {
+		t.Fatalf("%s: ClosestPairs: %d vs %d", label, len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("%s: ClosestPairs %d: %v vs %v", label, i, da[i], db[i])
+		}
+	}
+	// Clustering runs over the recovered (possibly sparse) id space.
+	if _, err := got.Cluster(ctx, "P", ClusterOptions{Algorithm: DBSCAN, Eps: 150, MinPts: 3}); err != nil {
+		t.Fatalf("%s: Cluster: %v", label, err)
+	}
+}
+
+// crashDB abandons a durable handle the way a killed process would: the
+// backing files are closed (releasing the file lock) with no checkpoint
+// and no WAL truncation, leaving the exact on-disk crash image.
+func crashDB(db *Database) {
+	s := db.store
+	s.log.Close()
+	s.fs.Close()
+	s.closed = true
+}
+
+// rebuildReference builds a fresh in-memory Database from a committed-state
+// snapshot.
+func rebuildReference(t *testing.T, rects []Rect, pts, tPts []Point) *Database {
+	t.Helper()
+	ref, err := NewDatabaseFromRects(rects, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	if tPts != nil {
+		if err := ref.AddDataset("T", tPts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ref
+}
+
+func TestOpenCreateMutateReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "city.obs")
+	db, err := Open(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Persistent() {
+		t.Fatal("Open returned a non-persistent database")
+	}
+	// An in-memory database reports itself accordingly and Close/Checkpoint
+	// are no-ops.
+	mem, err := NewDatabaseFromRects(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Persistent() {
+		t.Fatal("NewDatabase returned a persistent database")
+	}
+	if err := mem.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	randPt := func() Point { return Pt(rng.Float64()*1000, rng.Float64()*1000) }
+	var rects []Rect
+	for i := 0; i < 12; i++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		rects = append(rects, R(x, y, x+40, y+40))
+	}
+	if _, err := db.AddObstacleRects(rects...); err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for i := 0; i < 80; i++ {
+		pts = append(pts, randPt())
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	var tPts []Point
+	for i := 0; i < 25; i++ {
+		tPts = append(tPts, randPt())
+	}
+	if err := db.AddDataset("T", tPts); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: inserts, deletes, an obstacle removal and re-add.
+	livePts := append([]Point(nil), pts...)
+	ids, err := db.InsertPoints("P", Pt(5, 5), Pt(995, 995))
+	if err != nil {
+		t.Fatal(err)
+	}
+	livePts = append(livePts, Pt(5, 5), Pt(995, 995))
+	if err := db.DeletePoints("P", ids[0], 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	livePts = removePoints(livePts, Pt(5, 5), pts[3], pts[7])
+	if err := db.RemoveObstacles(2); err != nil {
+		t.Fatal(err)
+	}
+	liveRects := append(append([]Rect(nil), rects[:2]...), rects[3:]...)
+	extra := R(100, 100, 140, 150)
+	if _, err := db.AddObstacleRects(extra); err != nil {
+		t.Fatal(err)
+	}
+	liveRects = append(liveRects, extra)
+
+	st := db.PersistStats()
+	if st.Commits == 0 || st.WALBytes == 0 || st.FilePages == 0 {
+		t.Fatalf("PersistStats = %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close checkpointed: the WAL must be empty on disk.
+	if fi, err := os.Stat(path + ".wal"); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL after Close: %v bytes, err %v", fi.Size(), err)
+	}
+	// Mutating a closed database fails cleanly.
+	if _, err := db.InsertPoints("P", Pt(1, 1)); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("insert on closed db: %v", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("checkpoint on closed db: %v", err)
+	}
+
+	// Reopen: no bulk load, state recovered from the catalog and tree pages.
+	back, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if n := back.NumObstacles(); n != len(liveRects) {
+		t.Fatalf("reopened NumObstacles = %d, want %d", n, len(liveRects))
+	}
+	if n, err := back.DatasetLen("P"); err != nil || n != len(livePts) {
+		t.Fatalf("reopened DatasetLen(P) = %d (%v), want %d", n, err, len(livePts))
+	}
+	names := back.Datasets()
+	if len(names) != 2 || names[0] != "P" || names[1] != "T" {
+		t.Fatalf("reopened Datasets = %v", names)
+	}
+	queries := make([]Point, 5)
+	for i := range queries {
+		queries[i] = randPt()
+	}
+	ref := rebuildReference(t, liveRects, livePts, tPts)
+	assertVerbsMatch(t, "reopen", back, ref, queries, true)
+
+	// The reopened handle keeps mutating durably: freed ids are reusable and
+	// a further reopen sees the change.
+	ids, err = back.InsertPoints("P", Pt(500, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	nn, err := again.NearestNeighbors(ctx, "P", Pt(500, 500), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 1 || nn[0].ID != ids[0] || nn[0].Point != Pt(500, 500) {
+		t.Fatalf("insert before close not recovered: %+v", nn)
+	}
+
+	// Conflicting page size is rejected.
+	if _, err := Open(path, Options{PageSize: 8192}); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func removePoints(pts []Point, kill ...Point) []Point {
+	out := pts[:0:0]
+	dead := make(map[Point]bool, len(kill))
+	for _, p := range kill {
+		dead[p] = true
+	}
+	for _, p := range pts {
+		if !dead[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// committedState is the model of everything durably committed after each
+// mutation of the crash-recovery scripts.
+type committedState struct {
+	rects    []Rect
+	pts      []Point
+	walBytes int64
+}
+
+// runCrashScript drives a deterministic churn script against db, recording
+// the committed model and the WAL length after every commit. The database's
+// auto-checkpoint must be disabled so the data file stays at its post-create
+// checkpoint image while the WAL accretes one transaction per mutation.
+func runCrashScript(t *testing.T, db *Database, seed int64, ops int) (states []committedState, tPts []Point) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	randPt := func() Point { return Pt(rng.Float64()*1000, rng.Float64()*1000) }
+
+	record := func(rects map[int64]Rect, pts map[int64]Point) {
+		st := committedState{walBytes: db.PersistStats().WALBytes}
+		for _, r := range rects {
+			st.rects = append(st.rects, r)
+		}
+		for _, p := range pts {
+			st.pts = append(st.pts, p)
+		}
+		states = append(states, st)
+	}
+
+	liveRects := make(map[int64]Rect)
+	livePts := make(map[int64]Point)
+
+	// Obstacles on a grid (non-overlapping), initial points, a fixed T set.
+	var initRects []Rect
+	for cell := 0; cell < 100; cell += 7 {
+		x := float64(cell%10)*100 + 25
+		y := float64(cell/10)*100 + 25
+		initRects = append(initRects, R(x, y, x+50, y+50))
+	}
+	ids, err := db.AddObstacleRects(initRects...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		liveRects[id] = initRects[i]
+	}
+	record(liveRects, livePts)
+	var initPts []Point
+	for i := 0; i < 60; i++ {
+		initPts = append(initPts, randPt())
+	}
+	if err := db.AddDataset("P", initPts); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range initPts {
+		livePts[int64(i)] = p
+	}
+	record(liveRects, livePts)
+	for i := 0; i < 20; i++ {
+		tPts = append(tPts, randPt())
+	}
+	if err := db.AddDataset("T", tPts); err != nil {
+		t.Fatal(err)
+	}
+	record(liveRects, livePts)
+
+	freeCells := map[int]bool{}
+	for cell := 0; cell < 100; cell++ {
+		if cell%7 != 0 {
+			freeCells[cell] = true
+		}
+	}
+	for op := 0; op < ops; op++ {
+		switch rng.Intn(5) {
+		case 0, 1: // insert points
+			n := 1 + rng.Intn(3)
+			pts := make([]Point, n)
+			for i := range pts {
+				pts[i] = randPt()
+			}
+			ids, err := db.InsertPoints("P", pts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, id := range ids {
+				livePts[id] = pts[i]
+			}
+		case 2: // delete a point
+			for id := range livePts {
+				if err := db.DeletePoints("P", id); err != nil {
+					t.Fatal(err)
+				}
+				delete(livePts, id)
+				break
+			}
+		case 3: // add an obstacle in a free grid cell
+			var cell int = -1
+			for c := range freeCells {
+				cell = c
+				break
+			}
+			if cell < 0 {
+				continue
+			}
+			delete(freeCells, cell)
+			x := float64(cell%10)*100 + 25
+			y := float64(cell/10)*100 + 25
+			r := R(x, y, x+50, y+50)
+			ids, err := db.AddObstacleRects(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			liveRects[ids[0]] = r
+		default: // remove an obstacle
+			for id, r := range liveRects {
+				if err := db.RemoveObstacles(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(liveRects, id)
+				cell := int(r.MinX-25)/100 + int(r.MinY-25)/100*10
+				freeCells[cell] = true
+				break
+			}
+		}
+		record(liveRects, livePts)
+	}
+	return states, tPts
+}
+
+// TestCrashRecoveryAtEveryWALBoundary is the acceptance test of the
+// durability subsystem: a database is created, churned through interleaved
+// point and obstacle mutations, and "killed" at every WAL boundary — the
+// data file plus a prefix of the WAL are copied aside, exactly what a crash
+// between WAL fsync and write-back leaves behind. Every copy must reopen
+// and answer every query verb identically to an in-memory database rebuilt
+// from the state committed at that boundary. Cuts that land mid-transaction
+// must recover to the previous boundary.
+func TestCrashRecoveryAtEveryWALBoundary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "churn.obs")
+	opts := DefaultOptions()
+	opts.WALCheckpointBytes = -1 // the script must own every WAL boundary
+	db, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, tPts := runCrashScript(t, db, 17, 40)
+
+	// Simulated crash: the handle is abandoned, never Closed (a Close would
+	// checkpoint). The data file has not changed since the post-create
+	// checkpoint, so one copy of it plus per-boundary WAL prefixes
+	// reconstruct the crash image at every boundary.
+	base, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walFull, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(len(walFull)), states[len(states)-1].walBytes; got != want {
+		t.Fatalf("WAL file is %d bytes, last boundary says %d", got, want)
+	}
+
+	queries := []Point{Pt(120, 480), Pt(760, 210), Pt(415, 905)}
+	reopenAt := func(label string, walPrefix []byte) *Database {
+		t.Helper()
+		cdir := t.TempDir()
+		cpath := filepath.Join(cdir, "crash.obs")
+		if err := os.WriteFile(cpath, base, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cpath+".wal", walPrefix, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(cpath, Options{})
+		if err != nil {
+			t.Fatalf("%s: reopen after crash: %v", label, err)
+		}
+		return back
+	}
+
+	for i, st := range states {
+		label := fmt.Sprintf("boundary %d/%d", i, len(states)-1)
+		back := reopenAt(label, walFull[:st.walBytes])
+		if n := back.NumObstacles(); n != len(st.rects) {
+			t.Fatalf("%s: %d obstacles, model has %d", label, n, len(st.rects))
+		}
+		if i == 0 {
+			// Before the first AddDataset commit: no dataset may surface.
+			if back.HasDataset("P") {
+				t.Fatalf("%s: dataset P exists before its commit", label)
+			}
+			back.Close()
+			continue
+		}
+		if n, err := back.DatasetLen("P"); err != nil || n != len(st.pts) {
+			t.Fatalf("%s: DatasetLen = %d (%v), model has %d", label, n, err, len(st.pts))
+		}
+		var refT []Point
+		if i >= 2 {
+			refT = tPts
+		}
+		ref := rebuildReference(t, st.rects, st.pts, refT)
+		full := i >= 2 && (i%8 == 0 || i == len(states)-1)
+		assertVerbsMatch(t, label, back, ref, queries, full)
+
+		// A crash after recovery must also be clean: the recovered database
+		// keeps accepting durable mutations.
+		if i == len(states)-1 {
+			if _, err := back.InsertPoints("P", Pt(1, 2)); err != nil {
+				t.Fatalf("%s: mutating recovered db: %v", label, err)
+			}
+		}
+		back.Close()
+	}
+
+	// Torn-tail cuts: a crash mid-append lands between boundaries; recovery
+	// must fall back to the previous boundary.
+	for _, i := range []int{1, len(states) / 2, len(states) - 1} {
+		if states[i].walBytes == states[i-1].walBytes {
+			continue
+		}
+		cut := states[i].walBytes - 3
+		if cut <= states[i-1].walBytes {
+			continue
+		}
+		label := fmt.Sprintf("torn cut before boundary %d", i)
+		back := reopenAt(label, walFull[:cut])
+		st := states[i-1]
+		if n := back.NumObstacles(); n != len(st.rects) {
+			t.Fatalf("%s: %d obstacles, previous boundary has %d", label, n, len(st.rects))
+		}
+		if i-1 > 0 {
+			if n, err := back.DatasetLen("P"); err != nil || n != len(st.pts) {
+				t.Fatalf("%s: DatasetLen = %d (%v), want %d", label, n, err, len(st.pts))
+			}
+		}
+		back.Close()
+	}
+}
+
+// TestFaultInjectionCheckpoint kills data-file writes after N operations
+// for every N up to the checkpoint's full write count: commits keep
+// succeeding (they reach only the WAL), the checkpoint fails part-way
+// through its write-back, and reopening recovers every committed mutation
+// from the WAL over the partially updated file.
+func TestFaultInjectionCheckpoint(t *testing.T) {
+	for n := int64(0); ; n++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fault.obs")
+		// Create the file cleanly, then reopen with the fault wrapper.
+		db, err := Open(path, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var fault *pagefile.FaultStorage
+		opts := DefaultOptions()
+		opts.WALCheckpointBytes = -1
+		db, err = openWithHooks(path, opts, openHooks{
+			wrapStorage: func(st pagefile.Storage) pagefile.Storage {
+				fault = pagefile.NewFaultStorage(st, n)
+				return fault
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states, _ := runCrashScript(t, db, 23, 8)
+		final := states[len(states)-1]
+
+		cperr := db.Checkpoint()
+		exhausted := fault.Writes() > n
+		if exhausted && cperr == nil {
+			t.Fatalf("n=%d: checkpoint succeeded despite exhausted write budget", n)
+		}
+		if cperr != nil && !errors.Is(cperr, pagefile.ErrInjectedFault) {
+			t.Fatalf("n=%d: checkpoint error %v, want injected fault", n, cperr)
+		}
+		// The handle survives a failed checkpoint: commits still reach the
+		// WAL, and a later mutation is recovered below.
+		ids, err := db.InsertPoints("P", Pt(333, 333))
+		if err != nil {
+			t.Fatalf("n=%d: insert after failed checkpoint: %v", n, err)
+		}
+		_ = ids
+		final.pts = append(final.pts, Pt(333, 333))
+
+		// Crash: abandon the handle, reopen without faults.
+		crashDB(db)
+		back, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: reopen: %v", n, err)
+		}
+		if nObst := back.NumObstacles(); nObst != len(final.rects) {
+			t.Fatalf("n=%d: %d obstacles, want %d", n, nObst, len(final.rects))
+		}
+		if cnt, err := back.DatasetLen("P"); err != nil || cnt != len(final.pts) {
+			t.Fatalf("n=%d: DatasetLen = %d (%v), want %d", n, cnt, err, len(final.pts))
+		}
+		ref := rebuildReference(t, final.rects, final.pts, nil)
+		assertVerbsMatch(t, fmt.Sprintf("fault n=%d", n), back, ref, []Point{Pt(500, 180)}, false)
+		back.Close()
+
+		if !exhausted {
+			// The budget covered the whole checkpoint: every later N only
+			// adds slack, so the sweep is complete.
+			break
+		}
+	}
+}
+
+// flakyWALFile kills WAL file writes after N calls, simulating a crash (or
+// a full/broken disk) during a commit's WAL append.
+type flakyWALFile struct {
+	wal.File
+	writes, failAfter int
+}
+
+var errWALFault = errors.New("injected wal write fault")
+
+func (f *flakyWALFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.failAfter {
+		return 0, errWALFault
+	}
+	return f.File.Write(p)
+}
+
+// TestWALFaultInjection kills WAL writes after N operations for increasing
+// N: the first mutation whose commit cannot reach the log reports the
+// failure and poisons the handle (ErrNeedsReopen); reopening recovers
+// exactly the mutations whose commits succeeded.
+func TestWALFaultInjection(t *testing.T) {
+	for n := 1; ; n++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "walfault.obs")
+		db, err := Open(path, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var flaky *flakyWALFile
+		opts := DefaultOptions()
+		opts.WALCheckpointBytes = -1
+		db, err = openWithHooks(path, opts, openHooks{
+			wrapWAL: func(f wal.File) wal.File {
+				flaky = &flakyWALFile{File: f, failAfter: n}
+				return flaky
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Committed model: only mutations that returned nil.
+		var rects []Rect
+		var pts []Point
+		rng := rand.New(rand.NewSource(int64(n) * 131))
+		failed := false
+		for op := 0; op < 12 && !failed; op++ {
+			if op%4 == 3 {
+				x, y := rng.Float64()*900, rng.Float64()*900
+				r := R(x, y, x+30, y+30)
+				if _, err := db.AddObstacleRects(r); err != nil {
+					failed = true
+					break
+				}
+				rects = append(rects, r)
+				continue
+			}
+			p := Pt(rng.Float64()*1000, rng.Float64()*1000)
+			if op == 0 {
+				if err := db.AddDataset("P", []Point{p}); err != nil {
+					failed = true
+					break
+				}
+			} else if _, err := db.InsertPoints("P", p); err != nil {
+				failed = true
+				break
+			}
+			pts = append(pts, p)
+		}
+		if failed {
+			// The handle is poisoned for further mutations.
+			if _, err := db.InsertPoints("P", Pt(1, 1)); !errors.Is(err, ErrNeedsReopen) {
+				t.Fatalf("n=%d: mutation after WAL fault: %v, want ErrNeedsReopen", n, err)
+			}
+			if err := db.Checkpoint(); !errors.Is(err, ErrNeedsReopen) {
+				t.Fatalf("n=%d: checkpoint after WAL fault: %v, want ErrNeedsReopen", n, err)
+			}
+		}
+
+		crashDB(db)
+		back, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: reopen: %v", n, err)
+		}
+		if nObst := back.NumObstacles(); nObst != len(rects) {
+			t.Fatalf("n=%d: %d obstacles recovered, %d committed", n, nObst, len(rects))
+		}
+		if len(pts) == 0 {
+			if back.HasDataset("P") {
+				t.Fatalf("n=%d: dataset P recovered but its commit failed", n)
+			}
+		} else if cnt, err := back.DatasetLen("P"); err != nil || cnt != len(pts) {
+			t.Fatalf("n=%d: %d points recovered (%v), %d committed", n, cnt, err, len(pts))
+		}
+		back.Close()
+
+		if !failed {
+			break // the budget covered every mutation: sweep complete
+		}
+	}
+}
+
+// TestDurableConcurrentQueries runs parallel readers against a durable
+// database while a writer churns it — the same contract as the in-memory
+// engine (one-shot verbs never see torn state), now with every read going
+// through the transactional overlay and every commit through the WAL.
+func TestDurableConcurrentQueries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.obs")
+	opts := DefaultOptions()
+	opts.WALCheckpointBytes = 64 << 10 // exercise auto-checkpoints mid-churn
+	db, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, _ := runCrashScriptConcurrent(t, db, 41, 60)
+	final := states[len(states)-1]
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	ref := rebuildReference(t, final.rects, final.pts, nil)
+	assertVerbsMatch(t, "concurrent churn", back, ref, []Point{Pt(111, 222), Pt(880, 640)}, false)
+}
+
+// runCrashScriptConcurrent is runCrashScript with query goroutines hammering
+// the database for the duration of the churn.
+func runCrashScriptConcurrent(t *testing.T, db *Database, seed int64, ops int) ([]committedState, []Point) {
+	t.Helper()
+	stop := make(chan struct{})
+	done := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			qrng := rand.New(rand.NewSource(int64(7000 + g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				q := Pt(qrng.Float64()*1000, qrng.Float64()*1000)
+				var err error
+				if db.HasDataset("P") {
+					if i%2 == 0 {
+						_, err = db.NearestNeighbors(ctx, "P", q, 3)
+					} else {
+						_, err = db.Range(ctx, "P", q, 90)
+					}
+				} else {
+					_, err = db.ObstructedDistance(ctx, q, Pt(qrng.Float64()*1000, qrng.Float64()*1000))
+				}
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+		}(g)
+	}
+	states, tPts := runCrashScript(t, db, seed, ops)
+	close(stop)
+	for g := 0; g < 2; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return states, tPts
+}
+
+// TestDurableAddObstaclesValidation mirrors the in-memory validation: bad
+// polygons are rejected with the typed error before anything commits.
+func TestDurableAddObstaclesValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.obs")
+	db, err := Open(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	before := db.PersistStats().Commits
+	if _, err := db.AddObstacles(Polygon{}); !errors.Is(err, ErrInvalidPolygon) {
+		t.Fatalf("zero polygon: %v", err)
+	}
+	collinear, err := NewPolygon([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2)})
+	if err == nil {
+		if _, err := db.AddObstacles(collinear); !errors.Is(err, ErrInvalidPolygon) {
+			t.Fatalf("collinear polygon: %v", err)
+		}
+	}
+	if after := db.PersistStats().Commits; after != before {
+		t.Fatalf("rejected obstacle committed: %d -> %d", before, after)
+	}
+}
+
+// TestOpenLocksFile pins the single-writer contract: a second Open of the
+// same live file must fail (two handles would both replay and append to
+// the WAL), and Close releases the lock.
+func TestOpenLocksFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "locked.obs")
+	db, err := Open(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, pagefile.ErrFileLocked) {
+		t.Fatalf("second Open = %v, want ErrFileLocked", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	back.Close()
+}
+
+// TestDurableDuplicateDatasetNoLeak pins the AddDataset rollback: a
+// duplicate add is rejected before building, so the file neither grows nor
+// commits anything for it.
+func TestDurableDuplicateDatasetNoLeak(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.obs")
+	db, err := Open(path, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Pt(float64(i%20)*7, float64(i/20)*11)
+	}
+	if err := db.AddDataset("P", pts); err != nil {
+		t.Fatal(err)
+	}
+	before := db.PersistStats()
+	if err := db.AddDataset("P", pts); err == nil {
+		t.Fatal("duplicate dataset accepted")
+	}
+	after := db.PersistStats()
+	if after.FilePages != before.FilePages {
+		t.Fatalf("duplicate add leaked pages: %d -> %d", before.FilePages, after.FilePages)
+	}
+	if after.Commits != before.Commits {
+		t.Fatalf("duplicate add committed: %d -> %d", before.Commits, after.Commits)
+	}
+}

@@ -88,13 +88,19 @@ func WithLimit(n int) QueryOption {
 // NearestNeighbors and Nearest; for NearestNeighbors the k results are the k
 // closest entities that satisfy pred (evaluated on the incremental stream),
 // not a filtered subset of the unfiltered kNN set.
+//
+// pred must not call back into the Database: query verbs hold the
+// database's update read-lock while evaluating it, and a re-entrant query
+// can deadlock against a concurrent mutator waiting for the write side.
+// Precompute whatever the predicate needs, or capture plain data.
 func WithFilter(pred func(Neighbor) bool) QueryOption {
 	return func(c *queryConfig) { c.filter = pred }
 }
 
 // WithPairFilter keeps only pairs satisfying pred. Applies to DistanceJoin,
 // ClosestPairs and Closest; for ClosestPairs the k results are the k closest
-// pairs that satisfy pred.
+// pairs that satisfy pred. Like WithFilter, pred must not call back into
+// the Database.
 func WithPairFilter(pred func(Pair) bool) QueryOption {
 	return func(c *queryConfig) { c.pairFilter = pred }
 }
