@@ -21,6 +21,15 @@
 // database file (obstacles.Open): every update commits through the
 // write-ahead log, measuring the fsync cost of durability, and the file is
 // left behind for obsstore inspect/verify.
+//
+// With -db and -workers N the tool instead runs a pure durable-mutator
+// workload: N goroutines insert and delete points as fast as commits
+// acknowledge, reporting commit throughput, latency percentiles (p50/p99)
+// and the group-commit counters (fsyncs vs commits, batch sizes) — the
+// CLI view of the batching win:
+//
+//	obschurn -db /tmp/churn.obs -workers 4 -ops 2000
+//	obschurn -db /tmp/churn.obs -workers 4 -ops 2000 -legacy   # fsync per commit
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,14 +57,23 @@ func main() {
 		seed     = flag.Int64("seed", 9, "world and workload seed (byte-for-byte reproducible with -parallel 1)")
 		timeout  = flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 		dbPath   = flag.String("db", "", "churn a durable database file at this path instead of in memory (created if missing; updates commit through the WAL)")
+		workers  = flag.Int("workers", 0, "with -db: run N parallel durable mutators (pure update workload) and report commit latency percentiles")
+		legacy   = flag.Bool("legacy", false, "with -db: fsync-per-commit legacy mode (GroupCommitMaxBatch=-1), the pre-group-commit baseline")
 	)
 	flag.Parse()
 
+	if *workers > 0 && *dbPath == "" {
+		fatal(fmt.Errorf("-workers requires -db (it measures durable commit batching)"))
+	}
+	dopts := obstacles.DefaultOptions()
+	if *legacy {
+		dopts.GroupCommitMaxBatch = -1
+	}
 	world := dataset.Generate(dataset.DefaultConfig(*seed, *nObst))
 	var db *obstacles.Database
 	var err error
 	if *dbPath != "" {
-		if db, err = obstacles.Open(*dbPath, obstacles.DefaultOptions()); err != nil {
+		if db, err = obstacles.Open(*dbPath, dopts); err != nil {
 			fatal(err)
 		}
 		defer db.Close()
@@ -71,6 +90,10 @@ func main() {
 		if err := db.AddDataset("P", pts); err != nil {
 			fatal(err)
 		}
+	}
+	if *workers > 0 {
+		runDurableMutators(db, *workers, *ops, *seed, world.Universe(), *legacy)
+		return
 	}
 	universe := world.Universe()
 	backend := "in-memory"
@@ -137,6 +160,80 @@ func main() {
 		fmt.Printf("durability: %d commits, %d checkpoints, wal %d bytes, %d file pages (%d pending write-back)\n",
 			pst.Commits, pst.Checkpoints, pst.WALBytes, pst.FilePages, pst.PendingPages)
 	}
+}
+
+// runDurableMutators drives N goroutines of pure durable point churn —
+// insert one, occasionally delete an old one — measuring per-commit
+// acknowledgment latency, and prints throughput, p50/p99 latency and the
+// group-commit counters. This is the CLI view of the batching win: compare
+// a run against the same file with -legacy (fsync per commit) to see
+// fsyncs drop well below commits and throughput rise.
+func runDurableMutators(db *obstacles.Database, workers, ops int, seed int64, universe float64, legacy bool) {
+	before := db.PersistStats()
+	var wg sync.WaitGroup
+	var workerErr atomic.Value
+	lats := make([][]time.Duration, workers)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			var live []int64
+			lats[w] = make([]time.Duration, 0, 2*ops)
+			for i := 0; i < ops; i++ {
+				p := obstacles.Pt(rng.Float64()*universe, rng.Float64()*universe)
+				t0 := time.Now()
+				ids, err := db.InsertPoints("P", p)
+				lats[w] = append(lats[w], time.Since(t0))
+				if err != nil {
+					workerErr.Store(fmt.Errorf("worker %d insert %d: %w", w, i, err))
+					return
+				}
+				live = append(live, ids...)
+				if len(live) > 64 {
+					t0 = time.Now()
+					err := db.DeletePoints("P", live[0])
+					lats[w] = append(lats[w], time.Since(t0))
+					if err != nil {
+						workerErr.Store(fmt.Errorf("worker %d delete: %w", w, err))
+						return
+					}
+					live = live[1:]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := workerErr.Load().(error); err != nil {
+		fatal(err)
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	after := db.PersistStats()
+	commits := after.Commits - before.Commits
+	fsyncs := after.Fsyncs - before.Fsyncs
+	mode := "group commit"
+	if legacy {
+		mode = "fsync-per-commit"
+	}
+	fmt.Printf("\n%d durable commits by %d workers in %v (%s)\n", commits, workers, elapsed, mode)
+	fmt.Printf("throughput:     %.1f commits/sec\n", float64(commits)/elapsed.Seconds())
+	fmt.Printf("commit latency: p50 %v, p99 %v\n", pct(0.50), pct(0.99))
+	fmt.Printf("fsyncs:         %d (%.2f commits/fsync; largest batch %d, %d grouped fsyncs)\n",
+		fsyncs, float64(commits)/float64(fsyncs), after.MaxBatch, after.GroupCommits-before.GroupCommits)
+	fmt.Printf("wal:            %d bytes (%d checkpoints)\n", after.WALBytes, after.Checkpoints-before.Checkpoints)
 }
 
 // runOp performs one workload operation: with probability mix an update

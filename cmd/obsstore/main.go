@@ -146,6 +146,15 @@ func inspect(args []string) error {
 	fmt.Printf("commit seq:  %d\n", st.Seq)
 	fmt.Printf("pages:       %d allocated (%d committed, pending write-back)\n", st.FilePages, st.PendingPages)
 	fmt.Printf("wal:         %d bytes\n", st.WALBytes)
+	// Commit/fsync counters are per-handle, and inspect's own handle
+	// mutates nothing — they are shown for completeness with a pointer to
+	// the tool that produces loaded numbers.
+	fmt.Printf("commits:     %d this handle, %d fsyncs", st.Commits, st.Fsyncs)
+	if st.Fsyncs > 0 {
+		fmt.Printf(" (%.2f commits/fsync, largest batch %d, %d grouped)\n", st.AvgBatch, st.MaxBatch, st.GroupCommits)
+	} else {
+		fmt.Printf(" (per-handle counters; run obschurn -db ... -workers N for a loaded measurement)\n")
+	}
 	fmt.Printf("obstacles:   %d\n", db.NumObstacles())
 	for _, name := range db.Datasets() {
 		n, err := db.DatasetLen(name)

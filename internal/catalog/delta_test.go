@@ -1,0 +1,139 @@
+package catalog
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/pagefile"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := &Delta{
+		Generation: 41,
+		Next:       907,
+		FreeOps: []pagefile.AllocOp{
+			{ID: 12},             // free
+			{Take: true, ID: 12}, // immediately reused
+			{Take: true, ID: 4},
+			{ID: 88},
+		},
+		Datasets: []DatasetMeta{
+			{Name: "P", Tree: TreeMeta{Root: 7, Height: 2, Size: 120}, IDBound: 130},
+		},
+		Obst: &ObstacleDelta{
+			Tree:       TreeMeta{Root: 3, Height: 1, Size: 9},
+			IDBound:    10,
+			Generation: 6,
+			Added: []ObstacleAdd{
+				{ID: 9, Verts: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}},
+			},
+			Removed: []int64{2},
+		},
+	}
+	back, err := DecodeDelta(EncodeDelta(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", d, back)
+	}
+
+	// A pure point-commit delta (no obstacle part) round-trips too.
+	small := &Delta{Generation: 1, Next: 5, Datasets: d.Datasets}
+	back, err = DecodeDelta(EncodeDelta(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Obst != nil || !reflect.DeepEqual(small, back) {
+		t.Fatalf("small delta mismatch: %+v", back)
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	st := &State{
+		Generation: 10,
+		PageFree:   []pagefile.PageID{4, 9},
+		Datasets: []DatasetMeta{
+			{Name: "P", Tree: TreeMeta{Root: 7, Height: 2, Size: 100}, IDBound: 100},
+		},
+	}
+	ob := &Obstacles{
+		Tree:    TreeMeta{Root: 3, Height: 1, Size: 2},
+		IDBound: 2,
+		Polys: map[int64][]geom.Point{
+			0: {geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)},
+			1: {geom.Pt(5, 5), geom.Pt(6, 5), geom.Pt(5, 6)},
+		},
+	}
+	d := &Delta{
+		Generation: 11,
+		Next:       50,
+		FreeOps: []pagefile.AllocOp{
+			{Take: true, ID: 4},
+			{ID: 20},
+			{Take: true, ID: 20}, // freed then reused within the commit
+		},
+		Datasets: []DatasetMeta{
+			{Name: "P", Tree: TreeMeta{Root: 8, Height: 2, Size: 101}, IDBound: 101},
+			{Name: "Q", Tree: TreeMeta{Root: 30, Height: 1, Size: 5}, IDBound: 5},
+		},
+		Obst: &ObstacleDelta{
+			Tree:       TreeMeta{Root: 3, Height: 1, Size: 2},
+			IDBound:    3,
+			Generation: 3,
+			Added:      []ObstacleAdd{{ID: 2, Verts: []geom.Point{geom.Pt(9, 9), geom.Pt(10, 9), geom.Pt(9, 10)}}},
+			Removed:    []int64{0},
+		},
+	}
+	ob2, err := d.Apply(st, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 11 {
+		t.Fatalf("generation = %d", st.Generation)
+	}
+	gotFree := append([]pagefile.PageID(nil), st.PageFree...)
+	sort.Slice(gotFree, func(i, j int) bool { return gotFree[i] < gotFree[j] })
+	if !reflect.DeepEqual(gotFree, []pagefile.PageID{9}) {
+		t.Fatalf("free list = %v, want [9]", gotFree)
+	}
+	if len(st.Datasets) != 2 || st.Datasets[0].Tree.Root != 8 || st.Datasets[1].Name != "Q" {
+		t.Fatalf("datasets = %+v", st.Datasets)
+	}
+	if len(ob2.Polys) != 2 {
+		t.Fatalf("obstacle polys = %v", ob2.Polys)
+	}
+	if _, live := ob2.Polys[0]; live {
+		t.Fatal("removed obstacle 0 still live")
+	}
+	if _, live := ob2.Polys[2]; !live {
+		t.Fatal("added obstacle 2 missing")
+	}
+
+	// A delta against a state it does not match is corrupt, not absorbed.
+	bad := &Delta{FreeOps: []pagefile.AllocOp{{Take: true, ID: 777}}}
+	if _, err := bad.Apply(st, ob2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("taking a non-free page: %v", err)
+	}
+	badObst := &Delta{Obst: &ObstacleDelta{Removed: []int64{55}}}
+	if _, err := badObst.Apply(st, ob2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("removing a dead obstacle: %v", err)
+	}
+
+	// The first obstacle-bearing delta over a file with no obstacle blob
+	// creates the obstacle state from scratch.
+	fresh := &Delta{Obst: &ObstacleDelta{
+		IDBound: 1, Generation: 1,
+		Added: []ObstacleAdd{{ID: 0, Verts: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}}},
+	}}
+	ob3, err := fresh.Apply(&State{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob3 == nil || len(ob3.Polys) != 1 {
+		t.Fatalf("fresh obstacle state = %+v", ob3)
+	}
+}

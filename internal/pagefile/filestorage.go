@@ -101,13 +101,26 @@ func DecodeSuperblock(b []byte) (Superblock, error) {
 	}, nil
 }
 
+// AllocOp is one free-list mutation recorded by FileStorage's allocation
+// journal: a page taken from the free list (Take) or a page returned to it.
+// Frontier allocations are not journaled — the commit's delta record carries
+// the new frontier instead. The ops are ordered: a page can be freed, taken
+// and freed again within one journal span, and replaying the ops in order
+// reconstructs the free list exactly.
+type AllocOp struct {
+	Take bool
+	ID   PageID
+}
+
 // FileStorage is a Storage over a real file: page id N lives at byte offset
 // N*PageSize (the superblock occupies the page-0 slot), read and written
 // with pread/pwrite. Allocation state — the frontier and the free list — is
 // kept in memory and persisted by the durability layer: the frontier in the
-// superblock, the free list in the catalog's state blob. FileStorage alone
-// is therefore crash-unsafe; the WAL-coordinated layer above it (TxStorage
-// plus the database commit protocol) provides atomicity.
+// superblock and commit deltas, the free list in the catalog's state blob
+// at checkpoints with per-commit delta ops in between (see DrainAllocLog).
+// FileStorage alone is therefore crash-unsafe; the WAL-coordinated layer
+// above it (TxStorage plus the database commit protocol) provides
+// atomicity.
 //
 // Unlike MemStorage, FileStorage does not validate that a read or written
 // page was allocated — WAL replay writes committed page images into a file
@@ -120,6 +133,7 @@ type FileStorage struct {
 	next     PageID
 	free     []PageID
 	freeSet  map[PageID]struct{}
+	allocLog []AllocOp
 }
 
 // OpenFileStorage opens (creating if needed) the page file at path and
@@ -197,7 +211,9 @@ func (fs *FileStorage) Sync() error { return fs.f.Sync() }
 func (fs *FileStorage) Close() error { return fs.f.Close() }
 
 // SetAllocState installs the recovered allocation state: the frontier from
-// the superblock and the free list from the catalog's state blob.
+// the superblock and the free list from the catalog's state blob (with any
+// replayed delta ops already applied). The allocation journal is cleared —
+// the installed state is by definition the durable baseline.
 func (fs *FileStorage) SetAllocState(next PageID, free []PageID) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -210,6 +226,7 @@ func (fs *FileStorage) SetAllocState(next PageID, free []PageID) {
 	for _, id := range free {
 		fs.freeSet[id] = struct{}{}
 	}
+	fs.allocLog = nil
 }
 
 // AllocState returns a snapshot of the allocation state for serialization
@@ -218,6 +235,19 @@ func (fs *FileStorage) AllocState() (next PageID, free []PageID) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.next, append([]PageID(nil), fs.free...)
+}
+
+// DrainAllocLog returns the ordered free-list mutations since the previous
+// drain (or SetAllocState) and clears the journal. The durability layer
+// drains once per commit, turning the span's ops into that commit's catalog
+// delta, and once per checkpoint, where the ops are discarded because the
+// checkpoint serializes the full free list instead.
+func (fs *FileStorage) DrainAllocLog() []AllocOp {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ops := fs.allocLog
+	fs.allocLog = nil
+	return ops
 }
 
 // PageSize implements Storage.
@@ -239,6 +269,7 @@ func (fs *FileStorage) Allocate() (PageID, error) {
 		id := fs.free[n-1]
 		fs.free = fs.free[:n-1]
 		delete(fs.freeSet, id)
+		fs.allocLog = append(fs.allocLog, AllocOp{Take: true, ID: id})
 		return id, nil
 	}
 	id := fs.next
@@ -259,6 +290,7 @@ func (fs *FileStorage) Free(id PageID) error {
 	}
 	fs.free = append(fs.free, id)
 	fs.freeSet[id] = struct{}{}
+	fs.allocLog = append(fs.allocLog, AllocOp{ID: id})
 	return nil
 }
 

@@ -108,7 +108,12 @@ func (t *TxStorage) WritePage(id PageID, data []byte) error {
 
 // CaptureDirty returns the images of every page written since the previous
 // capture, sorted by page id for deterministic WAL contents, and clears the
-// dirty set. The images remain in the overlay until Apply.
+// dirty set. The capture is transaction-owned: each image is copied out of
+// the overlay, so a capture staged by one commit stays valid while later
+// transactions overwrite, free or reallocate the same pages — the group
+// committer may write a staged batch to the WAL long after the mutator
+// that produced it released the update lock. The overlay itself keeps the
+// newest image of each page until Apply.
 func (t *TxStorage) CaptureDirty() []PageWrite {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -119,7 +124,7 @@ func (t *TxStorage) CaptureDirty() []PageWrite {
 	for id := range t.dirty {
 		// A dirtied page may have been freed since; Free removes it from both
 		// maps, so every dirty id still has a pending image.
-		out = append(out, PageWrite{ID: id, Data: t.pending[id]})
+		out = append(out, PageWrite{ID: id, Data: append([]byte(nil), t.pending[id]...)})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	t.dirty = make(map[PageID]struct{})
@@ -136,9 +141,12 @@ func (t *TxStorage) PendingPages() int {
 }
 
 // Apply writes every pending image through to the backing store and clears
-// the overlay — the data-file half of a checkpoint. On error the overlay is
-// retained: every image is also in the WAL, so a partially applied
-// checkpoint is repaired by replay, and retrying Apply is idempotent.
+// the overlay — the data-file half of a checkpoint. The dirty set clears
+// too: pages the checkpoint itself wrote (fresh catalog blob chains) are
+// durable via the data file, not the WAL, and must not leak into the next
+// commit's capture. On error both maps are retained: every committed image
+// is also in the WAL, so a partially applied checkpoint is repaired by
+// replay, and retrying Apply is idempotent.
 func (t *TxStorage) Apply() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -153,5 +161,6 @@ func (t *TxStorage) Apply() error {
 		}
 	}
 	t.pending = make(map[PageID][]byte)
+	t.dirty = make(map[PageID]struct{})
 	return nil
 }

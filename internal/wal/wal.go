@@ -1,15 +1,27 @@
 // Package wal implements the write-ahead log of the durable storage
 // backend. A Log is an append-only file of CRC-protected records grouped
-// into transactions: any number of page-image and metadata records followed
-// by one commit record. Commit flushes and fsyncs, so a transaction is
-// durable exactly when Commit returns.
+// into transactions: any number of page-image, metadata and catalog-delta
+// records followed by one commit record.
+//
+// Commits reach the disk in groups: AppendGroup writes a whole batch of
+// member commits as one WAL transaction — deduplicated page images, every
+// member's catalog delta in order, one shared commit record — then flushes
+// and fsyncs once. This is the group-commit primitive that lets N
+// concurrent mutators share one fsync (and one image per hot page). A
+// commit is durable exactly when the AppendGroup (or legacy Commit) call
+// that covered it returns. The Log is safe for concurrent use: every
+// method serializes on an internal mutex, so a committer goroutine can
+// append groups while other goroutines read Size.
 //
 // Recovery is redo-only: Replay scans the log from the start and hands each
 // fully committed transaction to the caller, which re-applies the page
-// images to the data file. A torn tail — a partial record, a record whose
-// CRC does not match, or records not followed by a commit — is discarded
-// and truncated away, so a crash between a WAL append and the data-file
-// write-back recovers to the last committed mutation.
+// images to the data file and the catalog deltas to the recovered metadata.
+// A torn tail (a partial record, a record whose CRC does not match, or
+// records not followed by a commit) is discarded and truncated away.
+// Because a group shares one commit record, cutting anywhere inside it
+// discards the group whole: recovery always lands on an acknowledgment
+// boundary — a prefix of acknowledged groups, never part of an
+// unacknowledged one.
 package wal
 
 import (
@@ -20,6 +32,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // Record types.
@@ -27,6 +40,7 @@ const (
 	recPage   = 1 // payload: page id (u32) + page image
 	recMeta   = 2 // payload: opaque metadata blob (the superblock image)
 	recCommit = 3 // payload: transaction sequence number (u64)
+	recDelta  = 4 // payload: opaque catalog delta blob
 )
 
 // recHeaderSize is type (u8) + payload length (u32) + payload CRC (u32).
@@ -56,20 +70,39 @@ type Page struct {
 	Data []byte
 }
 
-// Tx is one committed transaction as seen by Replay.
+// Tx is one committed transaction — a whole fsync group — as seen by
+// Replay. A group written by AppendGroup carries the page images of all its
+// member commits (deduplicated: one image per page) and their catalog
+// deltas in commit order; Seq is the sequence number of the group's last
+// member.
 type Tx struct {
-	Seq   uint64
-	Pages []Page
-	Meta  []byte // nil when the transaction carried no metadata record
+	Seq    uint64
+	Pages  []Page
+	Meta   []byte   // nil when the transaction carried no metadata record
+	Deltas [][]byte // the catalog deltas of the group's commits, in order
+	// End is the byte offset just past this transaction's commit record —
+	// the crash-cut boundary at which replaying a prefix of the log
+	// recovers exactly the transactions up to and including this one.
+	End int64
 }
 
-// Log is an append-only write-ahead log. Appends are buffered; Commit
-// flushes and fsyncs. A Log is not safe for concurrent use; the database
-// serializes commits behind its update lock.
+// BatchTx is one member commit of a group append: its commit sequence
+// number plus the records it carries. Meta and Delta are optional.
+type BatchTx struct {
+	Seq   uint64
+	Pages []Page
+	Meta  []byte
+	Delta []byte
+}
+
+// Log is an append-only write-ahead log. Appends are buffered; AppendGroup
+// (and the single-transaction Commit) flush and fsync. All methods are safe
+// for concurrent use.
 type Log struct {
+	mu   sync.Mutex
 	f    File
 	w    *bufio.Writer
-	size int64 // bytes durably part of the log (after last successful Commit)
+	size int64 // bytes durably part of the log (after last successful commit)
 	tail int64 // bytes appended past size but not yet committed
 }
 
@@ -105,9 +138,14 @@ func NewLog(f File, size int64) *Log {
 }
 
 // Size returns the durable length of the log in bytes — the write position
-// after the last successful Commit. Checkpoints reset it to zero.
-func (l *Log) Size() int64 { return l.size }
+// after the last successful commit. Checkpoints reset it to zero.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
 
+// appendRecord buffers one record. Callers hold l.mu.
 func (l *Log) appendRecord(typ byte, payload []byte) error {
 	var hdr [recHeaderSize]byte
 	hdr[0] = typ
@@ -123,29 +161,40 @@ func (l *Log) appendRecord(typ byte, payload []byte) error {
 	return nil
 }
 
-// AppendPage buffers a page-image record for the current transaction.
-func (l *Log) AppendPage(id uint32, data []byte) error {
-	payload := make([]byte, 4+len(data))
-	binary.LittleEndian.PutUint32(payload[:4], id)
-	copy(payload[4:], data)
-	return l.appendRecord(recPage, payload)
-}
-
-// AppendMeta buffers a metadata record for the current transaction.
-func (l *Log) AppendMeta(meta []byte) error {
-	return l.appendRecord(recMeta, meta)
-}
-
-// Commit appends the commit record for the buffered transaction, flushes,
-// and fsyncs. When Commit returns nil the transaction is durable; on error
-// the log must be considered broken (the tail past the last good commit is
-// dropped by Replay on the next open).
-func (l *Log) Commit(seq uint64) error {
-	var payload [8]byte
-	binary.LittleEndian.PutUint64(payload[:], seq)
-	if err := l.appendRecord(recCommit, payload[:]); err != nil {
+// appendPageRecord buffers a page record without assembling the id+image
+// payload in a temporary buffer: the CRC is computed incrementally over the
+// id prefix and the page image. Callers hold l.mu.
+func (l *Log) appendPageRecord(id uint32, data []byte) error {
+	var idb [4]byte
+	binary.LittleEndian.PutUint32(idb[:], id)
+	crc := crc32.Update(crc32.Checksum(idb[:], crcTable), crcTable, data)
+	var hdr [recHeaderSize]byte
+	hdr[0] = recPage
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(4+len(data)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc)
+	if _, err := l.w.Write(hdr[:]); err != nil {
 		return err
 	}
+	if _, err := l.w.Write(idb[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(data); err != nil {
+		return err
+	}
+	l.tail += int64(recHeaderSize + 4 + len(data))
+	return nil
+}
+
+// appendCommitRecord buffers a commit record. Callers hold l.mu.
+func (l *Log) appendCommitRecord(seq uint64) error {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], seq)
+	return l.appendRecord(recCommit, payload[:])
+}
+
+// sync flushes the buffered records and fsyncs; on success every buffered
+// transaction becomes durable at once. Callers hold l.mu.
+func (l *Log) sync() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -157,11 +206,109 @@ func (l *Log) Commit(seq uint64) error {
 	return nil
 }
 
+// AppendGroup writes a batch of commits as one WAL transaction — the
+// group-commit primitive — then flushes and fsyncs once. The group shares
+// a single commit record (carrying the last member's sequence number), so
+// recovery treats it as all-or-nothing: a torn group is discarded whole,
+// which is exactly the acknowledgment boundary, since no member commit is
+// acknowledged before the shared fsync returns.
+//
+// Sharing one commit record is also what makes page deduplication sound:
+// when several member commits write the same page — adjacent R-tree
+// inserts hitting the same leaf and root — only the last image needs to be
+// logged, because no recovery can stop between members. Under contended
+// churn this cuts the WAL write volume several-fold, on top of sharing
+// the fsync.
+//
+// When AppendGroup returns nil, every member commit is durable; on error
+// none of them is acknowledged and the log must be considered broken (the
+// tail past the last good commit is dropped by Replay on the next open).
+func (l *Log) AppendGroup(txs []BatchTx) error {
+	if len(txs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Deduplicate page images across the group, keeping the last version
+	// of each page and writing them in first-touched order (stable and
+	// deterministic for a given group).
+	type slot struct {
+		order int
+		data  []byte
+	}
+	last := make(map[uint32]slot)
+	order := 0
+	for _, tx := range txs {
+		for _, p := range tx.Pages {
+			if s, ok := last[p.ID]; ok {
+				s.data = p.Data
+				last[p.ID] = s
+				continue
+			}
+			last[p.ID] = slot{order: order, data: p.Data}
+			order++
+		}
+	}
+	pages := make([]Page, order)
+	for id, s := range last {
+		pages[s.order] = Page{ID: id, Data: s.data}
+	}
+	for _, p := range pages {
+		if err := l.appendPageRecord(p.ID, p.Data); err != nil {
+			return err
+		}
+	}
+	for _, tx := range txs {
+		if tx.Meta != nil {
+			if err := l.appendRecord(recMeta, tx.Meta); err != nil {
+				return err
+			}
+		}
+		if tx.Delta != nil {
+			if err := l.appendRecord(recDelta, tx.Delta); err != nil {
+				return err
+			}
+		}
+	}
+	if err := l.appendCommitRecord(txs[len(txs)-1].Seq); err != nil {
+		return err
+	}
+	return l.sync()
+}
+
+// AppendPage buffers a page-image record for the current transaction.
+// Deprecated in favor of AppendGroup for commit paths; retained for
+// single-transaction callers and tests.
+func (l *Log) AppendPage(id uint32, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendPageRecord(id, data)
+}
+
+// AppendMeta buffers a metadata record for the current transaction.
+func (l *Log) AppendMeta(meta []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendRecord(recMeta, meta)
+}
+
+// Commit appends the commit record for the buffered transaction, flushes,
+// and fsyncs — AppendGroup for a batch of one built record-by-record.
+func (l *Log) Commit(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendCommitRecord(seq); err != nil {
+		return err
+	}
+	return l.sync()
+}
+
 // Replay scans the log from the beginning, invoking fn once per fully
 // committed transaction in commit order. It then truncates any torn tail
 // (partial or CRC-damaged records, or appended records never committed), so
 // the log ends exactly at the last durable commit. An error from fn aborts
-// the replay.
+// the replay. A multi-commit group is one transaction here: its members
+// recover together or not at all, matching their shared acknowledgment.
 //
 // A torn tail and mid-log corruption are distinguished by what follows the
 // damage. A CRC-valid commit record after the break point means the bytes
@@ -176,6 +323,8 @@ func (l *Log) Commit(seq uint64) error {
 // an earlier block of it is lost, without fsync having returned — trades a
 // conservative refusal for never dropping acknowledged data silently.
 func (l *Log) Replay(fn func(Tx) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	end := l.size + l.tail
 	r := bufio.NewReaderSize(io.NewSectionReader(l.f, 0, end), 64*1024)
 	var (
@@ -211,11 +360,14 @@ scan:
 			})
 		case recMeta:
 			tx.Meta = payload
+		case recDelta:
+			tx.Deltas = append(tx.Deltas, payload)
 		case recCommit:
 			if len(payload) != 8 {
 				break scan
 			}
 			tx.Seq = binary.LittleEndian.Uint64(payload)
+			tx.End = off
 			if err := fn(tx); err != nil {
 				return err
 			}
@@ -282,6 +434,8 @@ func (l *Log) findCommitRecordAfter(from, end int64) (int64, bool) {
 // Reset truncates the log to empty and fsyncs — the checkpoint step that
 // declares every logged transaction applied to the data file.
 func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.w.Reset(l.f) // drop any uncommitted buffered bytes
 	if err := l.f.Truncate(0); err != nil {
 		return err

@@ -44,6 +44,25 @@ type Options struct {
 	// until an explicit Checkpoint or Close). Ignored by in-memory
 	// databases.
 	WALCheckpointBytes int64
+	// GroupCommitMaxBatch caps how many commits one WAL fsync may cover
+	// when concurrent mutators batch (default 64; 0 selects the default).
+	// Negative selects fsync-per-commit legacy mode: every mutator writes
+	// and fsyncs its own commit while still holding the update lock — the
+	// pre-group-commit protocol, useful as a baseline and for minimum
+	// single-writer latency jitter. Ignored by in-memory databases.
+	GroupCommitMaxBatch int
+	// GroupCommitMaxDelay bounds the committer's absorb window: how long
+	// it may keep collecting straggler commits before fsyncing a batch.
+	// The window always ends early once the queue quiesces (no new commit
+	// arrives between polls), so this is a cap, not a fixed delay. The
+	// default 0 is adaptive: the cap is half the measured fsync cost, and
+	// the committer only waits at all once concurrent commits have been
+	// observed — a lone writer never waits. A positive value replaces the
+	// adaptive cap and makes the committer willing to absorb even before
+	// contention is observed (useful on lightly loaded boxes where
+	// commits rarely overlap an fsync); negative selects fsync-per-commit
+	// legacy mode. Ignored by in-memory databases.
+	GroupCommitMaxDelay time.Duration
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -78,6 +97,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WALCheckpointBytes == 0 {
 		o.WALCheckpointBytes = 4 << 20
+	}
+	if o.GroupCommitMaxBatch == 0 {
+		o.GroupCommitMaxBatch = 64
 	}
 	return o
 }
@@ -293,9 +315,13 @@ func (db *Database) AddDataset(name string, pts []Point) error {
 // The duplicate re-check happens before the build (adds serialize here, so
 // no racing build can slip past it), and a failed build frees every page
 // it allocated — otherwise the orphaned tree pages would be committed into
-// the file with nothing referencing them, a permanent leak.
-func (db *Database) addDatasetDurable(name string, pts []Point) error {
+// the file with nothing referencing them, a permanent leak. The commit is
+// staged under the lock and awaited after releasing it, like every other
+// mutator, so a dataset build can share its fsync with concurrent commits.
+func (db *Database) addDatasetDurable(name string, pts []Point) (err error) {
 	db.updateMu.Lock()
+	var tk *commitTicket
+	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	db.mu.RLock()
 	_, exists := db.datasets[name]
@@ -305,9 +331,10 @@ func (db *Database) addDatasetDurable(name string, pts []Point) error {
 	}
 	ps, err := core.NewPointSet(db.treeOptions(), pts, !db.opts.InsertLoad)
 	if err != nil {
-		// Every page dirtied since the last commit belongs to this failed
-		// build (mutators commit before releasing updateMu), so freeing the
-		// dirty set rolls the allocation back.
+		// Every page dirtied since the last stage belongs to this failed
+		// build (mutators stage before releasing updateMu), so freeing the
+		// dirty set rolls the allocation back. The alloc/free churn nets
+		// out through the next commit's delta ops.
 		for _, w := range db.store.tx.CaptureDirty() {
 			_ = db.store.tx.Free(w.ID)
 		}
@@ -317,7 +344,9 @@ func (db *Database) addDatasetDurable(name string, pts []Point) error {
 	db.mu.Lock()
 	db.datasets[name] = ps
 	db.mu.Unlock()
-	return db.commitLocked(false)
+	db.noteDatasetDirty(name)
+	db.stageCommit(&err, &tk, false)
+	return err
 }
 
 // Datasets returns the names of the datasets added so far, sorted.
@@ -379,7 +408,9 @@ func (db *Database) generation() uint64 { return db.gen.Load() }
 // fails any incremental stream still open with ErrConcurrentUpdate. Point
 // changes never invalidate cached visibility graphs: graphs hold obstacle
 // geometry only. On a durable database the insert reaches the write-ahead
-// log (fsynced) before returning.
+// log (fsynced) before returning; concurrent mutators stage their commits
+// while holding the update lock but share fsyncs after releasing it, so N
+// parallel inserts cost far fewer than N fsyncs (see Open).
 func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
@@ -389,9 +420,12 @@ func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err er
 		return nil, nil
 	}
 	db.updateMu.Lock()
+	var tk *commitTicket
+	defer db.awaitCommit(&err, &tk) // runs after the unlock: parks on the shared fsync
 	defer db.updateMu.Unlock()
-	defer db.commitAfterUpdate(&err, false)
+	defer db.stageCommit(&err, &tk, false)
 	defer db.gen.Add(1)
+	db.noteDatasetDirty(name)
 	ids, err = ps.Insert(pts)
 	if err != nil {
 		return ids, err
@@ -413,6 +447,8 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 		return nil
 	}
 	db.updateMu.Lock()
+	var tk *commitTicket
+	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	seen := make(map[int64]bool, len(ids))
 	for _, id := range ids {
@@ -424,8 +460,9 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 		}
 		seen[id] = true
 	}
-	defer db.commitAfterUpdate(&err, false)
+	defer db.stageCommit(&err, &tk, false)
 	defer db.gen.Add(1)
+	db.noteDatasetDirty(name)
 	for _, id := range ids {
 		if err := ps.Delete(id); err != nil {
 			return err
@@ -451,12 +488,16 @@ func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 		return nil, nil
 	}
 	db.updateMu.Lock()
+	var tk *commitTicket
+	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
-	defer db.commitAfterUpdate(&err, true)
+	defer db.stageCommit(&err, &tk, true)
 	defer db.gen.Add(1)
 	ids, err = db.obstSet.Add(polys)
 	for _, id := range ids {
-		db.engine.InvalidateObstacleRegion(db.obstSet.Polygon(id).Bounds())
+		pg := db.obstSet.Polygon(id)
+		db.engine.InvalidateObstacleRegion(pg.Bounds())
+		db.noteObstacleAdd(id, pg.Vertices())
 	}
 	if err != nil {
 		return ids, err
@@ -487,6 +528,8 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 		return nil
 	}
 	db.updateMu.Lock()
+	var tk *commitTicket
+	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	seen := make(map[int64]bool, len(ids))
 	for _, id := range ids {
@@ -498,7 +541,7 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 		}
 		seen[id] = true
 	}
-	defer db.commitAfterUpdate(&err, true)
+	defer db.stageCommit(&err, &tk, true)
 	defer db.gen.Add(1)
 	for _, id := range ids {
 		mbr, err := db.obstSet.Remove(id)
@@ -506,6 +549,7 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 			return err
 		}
 		db.engine.InvalidateObstacleRegion(mbr)
+		db.noteObstacleRemove(id)
 	}
 	sizeBuffer(db.obstSet.Tree(), db.opts.BufferFraction)
 	return nil

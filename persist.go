@@ -3,7 +3,11 @@ package obstacles
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -21,7 +25,9 @@ var ErrDatabaseClosed = errors.New("obstacles: database is closed")
 // ErrNeedsReopen wraps the first durable-commit failure. Once a commit
 // could not reach the write-ahead log, the in-memory state is ahead of
 // anything recoverable, so the handle refuses further mutations; reopening
-// the file recovers the last committed state.
+// the file recovers the last committed state. The handle poisons exactly
+// once: every mutator parked on the failed fsync batch — and every later
+// mutation — reports an error wrapping the first failure.
 var ErrNeedsReopen = errors.New("obstacles: durable state diverged, reopen the database")
 
 // PersistStats describes the durable backend of a Database.
@@ -34,11 +40,22 @@ type PersistStats struct {
 	// Commits and Checkpoints count durable commits and completed
 	// checkpoints over this handle's lifetime.
 	Commits, Checkpoints uint64
+	// Fsyncs counts WAL fsyncs issued by the commit path. Group commit
+	// batches concurrent mutators into shared fsyncs, so under contention
+	// Fsyncs is much smaller than Commits; with a single writer (or in
+	// fsync-per-commit legacy mode) the two advance together.
+	Fsyncs uint64
+	// GroupCommits counts fsyncs that covered two or more commits.
+	GroupCommits uint64
+	// MaxBatch is the largest number of commits one fsync covered.
+	MaxBatch int
+	// AvgBatch is Commits divided by Fsyncs — the mean commits per fsync.
+	AvgBatch float64
 	// FilePages is the number of allocated pages in the data file;
 	// PendingPages of them are committed to the WAL but not yet written
 	// back (they are applied at the next checkpoint).
 	FilePages, PendingPages int
-	// Seq is the commit sequence number of the current superblock.
+	// Seq is the sequence number of the most recent durable commit.
 	Seq uint64
 	// LastCheckpointErr is the most recent automatic-checkpoint failure,
 	// nil once a later checkpoint succeeds. Auto-checkpoint errors never
@@ -47,24 +64,82 @@ type PersistStats struct {
 	LastCheckpointErr error
 }
 
+// commitTicket is one staged commit parked in the group-commit queue: the
+// WAL transaction to write, and a channel the committer closes once the
+// transaction is durable (or the batch failed).
+type commitTicket struct {
+	tx   wal.BatchTx
+	err  error
+	done chan struct{}
+}
+
 // durableStore holds the persistence machinery of one open database file:
 // the raw page file, the transactional overlay all R-trees write through,
-// and the write-ahead log. See persist.go's commitLocked for the protocol.
+// the write-ahead log, and the group-commit queue. See the commit protocol
+// on stageCommitLocked/awaitTicket and the checkpoint protocol on
+// checkpointLocked.
 type durableStore struct {
-	path  string
-	fs    *pagefile.FileStorage
-	st    pagefile.Storage // fs, possibly fault-wrapped by tests
-	tx    *pagefile.TxStorage
-	log   *wal.Log
-	super pagefile.Superblock // current committed superblock
+	path string
+	fs   *pagefile.FileStorage
+	st   pagefile.Storage // fs, possibly fault-wrapped by tests
+	tx   *pagefile.TxStorage
+	log  *wal.Log
 
-	autoCheckpoint       int64
-	commits, checkpoints uint64
-	// lastCheckpointErr records the most recent auto-checkpoint failure
-	// (nil after any checkpoint succeeds); surfaced via PersistStats.
+	// Commit-pipeline configuration, immutable after Open.
+	maxBatch       int
+	maxDelay       time.Duration
+	legacy         bool // fsync-per-commit under the update lock
+	autoCheckpoint int64
+
+	// The fields below are guarded by Database.updateMu: only mutators
+	// (staging a commit) and checkpoints touch them, and both hold the
+	// write side.
+	super             pagefile.Superblock // current checkpoint superblock
+	seq               uint64              // last assigned commit sequence number
+	checkpoints       uint64
 	lastCheckpointErr error
-	broken            error
 	closed            bool
+	// obstDirty records that obstacles changed since the last checkpoint
+	// (or that no obstacle blob exists yet), forcing an obstacle-blob
+	// rewrite at the next checkpoint.
+	obstDirty bool
+	// logged is the set of pages with images in the live WAL. Checkpoint
+	// blob chains must avoid them: replay re-applies those images, and a
+	// crash between the checkpoint's superblock write and its WAL
+	// truncation must not let an old page image land on a live blob page.
+	logged map[pagefile.PageID]struct{}
+	// Per-commit change tracking, reset by each stage: the datasets the
+	// current mutation touched and the obstacle ops it performed.
+	dirtyDatasets map[string]struct{}
+	obstAdds      []catalog.ObstacleAdd
+	obstRemoves   []int64
+
+	// The commit queue, with its own lock: mutators enqueue while holding
+	// updateMu, the committer drains after they release it.
+	qmu   sync.Mutex
+	queue []*commitTicket
+	// leaderTok is a one-slot semaphore electing the committer among
+	// parked mutators (and the checkpoint path, which drains the queue
+	// before touching the WAL).
+	leaderTok chan struct{}
+
+	// Counters and the poison flag, with their own lock: the committer
+	// updates them outside updateMu.
+	cmu        sync.Mutex
+	broken     error
+	commits    uint64
+	fsyncs     uint64
+	grouped    uint64
+	batchMax   int
+	durableSeq uint64
+
+	// Adaptive batching state (atomics; read lock-free by committers).
+	// lastBatch predicts how many commits are about to arrive — mutators
+	// woken by the previous fsync re-stage almost immediately — and
+	// fsyncEWMA (microseconds) bounds how long a committer will wait for
+	// them: waiting a fraction of an fsync to share one is always worth it.
+	lastBatch atomic.Int64
+	fsyncEWMA atomic.Int64
 }
 
 // openHooks lets tests interpose fault-injection wrappers between the
@@ -78,15 +153,19 @@ type openHooks struct {
 // path, with its write-ahead log at path + ".wal". Opening an existing file
 // skips bulk-loading entirely: trees re-attach to their pages, point sets
 // are recovered by scanning leaves, and obstacle polygons come from the
-// catalog. Any transactions committed to the WAL but not yet written back —
-// a crash between WAL append and page write-back — are replayed first, so
-// the database reopens at the last committed mutation.
+// catalog. Any transactions committed to the WAL but not yet checkpointed —
+// a crash between WAL fsync and write-back — are replayed first (page
+// images onto the data file, catalog deltas onto the recovered metadata),
+// so the database reopens at the last acknowledged mutation.
 //
 // A Database from Open behaves like one from NewDatabase, except that every
 // mutator (InsertPoints, DeletePoints, AddObstacles, RemoveObstacles,
-// AddDataset) routes its page writes through the WAL — fsynced on commit —
-// and AddDataset serializes with queries while indexing. Close checkpoints
-// and releases the files; Checkpoint bounds the WAL and recovery time.
+// AddDataset) is durable before it returns: the mutation's dirty pages and
+// catalog delta are staged to a commit queue, and a committer batches
+// queued commits from concurrent mutators into one WAL write and one fsync
+// (group commit; see Options.GroupCommitMaxBatch/GroupCommitMaxDelay).
+// Close checkpoints and releases the files; Checkpoint bounds the WAL and
+// recovery time.
 //
 // For an existing file the page size recorded in it wins; Options.PageSize
 // must then be zero or agree.
@@ -97,6 +176,16 @@ type openHooks struct {
 // an error wrapping pagefile.ErrFileLocked.
 func Open(path string, opts Options) (*Database, error) {
 	return openWithHooks(path, opts, openHooks{})
+}
+
+// replayEvent is the catalog payload of one WAL transaction seen during
+// recovery, in commit order: a full superblock image (legacy
+// fsync-per-commit files logged one per commit) and/or the incremental
+// deltas of a commit group.
+type replayEvent struct {
+	seq    uint64
+	meta   []byte
+	deltas [][]byte
 }
 
 func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error) {
@@ -125,46 +214,59 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		return nil, err
 	}
 
-	// Redo pass: apply every committed WAL transaction to the data file,
-	// finishing the checkpoint a crash interrupted. The torn tail past the
-	// last commit record is truncated by Replay.
-	replayed := 0
+	// Redo pass: apply every committed page image to the data file and
+	// collect the catalog events (superblock metas from legacy files,
+	// incremental deltas otherwise) in commit order. The torn tail past
+	// the last commit record is truncated by Replay.
+	pageSize := sb.PageSize
+	var (
+		events   []replayEvent
+		logged   = make(map[pagefile.PageID]struct{})
+		replayed = 0
+		lastSeq  uint64
+	)
 	err = log.Replay(func(tx wal.Tx) error {
 		for _, p := range tx.Pages {
-			if len(p.Data) != sb.PageSize {
-				return fmt.Errorf("wal page %d has %d bytes, page size is %d", p.ID, len(p.Data), sb.PageSize)
+			if len(p.Data) != pageSize {
+				return fmt.Errorf("wal page %d has %d bytes, page size is %d", p.ID, len(p.Data), pageSize)
 			}
 			if err := fs.WritePage(pagefile.PageID(p.ID), p.Data); err != nil {
 				return err
 			}
+			logged[pagefile.PageID(p.ID)] = struct{}{}
 		}
+		ev := replayEvent{seq: tx.Seq}
 		if tx.Meta != nil {
-			nsb, err := pagefile.DecodeSuperblock(tx.Meta)
-			if err != nil {
-				return err
-			}
-			sb = nsb
+			ev.meta = append([]byte(nil), tx.Meta...)
 		}
+		for _, d := range tx.Deltas {
+			ev.deltas = append(ev.deltas, append([]byte(nil), d...))
+		}
+		events = append(events, ev)
 		replayed++
+		lastSeq = tx.Seq
 		return nil
 	})
 	if err != nil {
 		return fail(fmt.Errorf("obstacles: replaying WAL for %s: %w", path, err))
 	}
-	if replayed > 0 {
-		if err := fs.WriteSuperblock(sb); err != nil {
-			return fail(fmt.Errorf("obstacles: recovering superblock: %w", err))
-		}
-		if err := fs.Sync(); err != nil {
-			return fail(err)
-		}
-		if err := log.Reset(); err != nil {
-			return fail(err)
+
+	// Legacy files carry a full superblock per commit; the last one wins
+	// and the deltas (if any) that follow it are applied on top.
+	deltaStart := 0
+	for i, ev := range events {
+		if ev.meta != nil {
+			nsb, err := pagefile.DecodeSuperblock(ev.meta)
+			if err != nil {
+				return fail(fmt.Errorf("obstacles: recovering superblock: %w", err))
+			}
+			sb = nsb
+			deltaStart = i + 1
 		}
 	}
 
-	// Load the catalog. A root of zero means the file was created but never
-	// committed (or is brand new): start from an empty state.
+	// Load the checkpoint catalog. A root of zero means the file was
+	// created but never checkpointed: start from an empty state.
 	state := &catalog.State{}
 	var obst *catalog.Obstacles
 	if sb.State.Root != pagefile.InvalidPage {
@@ -185,7 +287,34 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 			return fail(err)
 		}
 	}
-	fs.SetAllocState(sb.Next, state.PageFree)
+
+	// Fold the replayed deltas into the checkpoint state. Groups whose
+	// (last) sequence number is at or below the superblock's are already
+	// inside the blobs — a crash between a checkpoint's superblock write
+	// and its WAL truncation leaves exactly that overlap, and checkpoints
+	// only run with the queue drained, so a group never straddles the
+	// boundary — and must be skipped to keep recovery idempotent.
+	next := sb.Next
+	obstDeltaSeen := false
+	for _, ev := range events[deltaStart:] {
+		if ev.seq <= sb.Seq {
+			continue
+		}
+		for _, raw := range ev.deltas {
+			d, err := catalog.DecodeDelta(raw)
+			if err != nil {
+				return fail(fmt.Errorf("obstacles: decoding group %d delta: %w", ev.seq, err))
+			}
+			if obst, err = d.Apply(state, obst); err != nil {
+				return fail(fmt.Errorf("obstacles: applying group %d delta: %w", ev.seq, err))
+			}
+			next = d.Next
+			if d.Obst != nil {
+				obstDeltaSeen = true
+			}
+		}
+	}
+	fs.SetAllocState(next, state.PageFree)
 
 	var st pagefile.Storage = fs
 	if hooks.wrapStorage != nil {
@@ -232,23 +361,39 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		sizeBuffer(tree, opts.BufferFraction)
 		db.datasets[ds.Name] = set
 	}
+	seq := sb.Seq
+	if lastSeq > seq {
+		seq = lastSeq
+	}
 	db.store = &durableStore{
 		path:           path,
 		fs:             fs,
 		st:             st,
 		tx:             tx,
 		log:            log,
-		super:          sb,
+		maxBatch:       opts.GroupCommitMaxBatch,
+		maxDelay:       opts.GroupCommitMaxDelay,
+		legacy:         opts.GroupCommitMaxBatch < 0 || opts.GroupCommitMaxDelay < 0,
 		autoCheckpoint: opts.WALCheckpointBytes,
+		super:          sb,
+		seq:            seq,
+		obstDirty:      obst == nil || obstDeltaSeen,
+		logged:         logged,
+		dirtyDatasets:  make(map[string]struct{}),
+		leaderTok:      make(chan struct{}, 1),
 	}
-	if created || sb.State.Root == pagefile.InvalidPage {
-		// Commit the empty database so a crash right after Open reopens the
-		// same (empty) state, then checkpoint to start with an empty WAL.
+	db.store.durableSeq = seq
+	if db.store.legacy {
+		db.store.maxBatch = 1
+		db.store.maxDelay = 0
+	}
+	if created || replayed > 0 || sb.State.Root == pagefile.InvalidPage {
+		// A fresh file checkpoints the empty state so a crash right after
+		// Open reopens it; a replayed file finishes recovery with a full
+		// checkpoint, folding the WAL's deltas into fresh catalog blobs
+		// and truncating the log.
 		db.updateMu.Lock()
-		err := db.commitLocked(true)
-		if err == nil {
-			err = db.checkpointLocked()
-		}
+		err := db.checkpointLocked()
 		db.updateMu.Unlock()
 		if err != nil {
 			return fail(err)
@@ -268,24 +413,33 @@ func (db *Database) PersistStats() PersistStats {
 		return PersistStats{}
 	}
 	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	return PersistStats{
+	out := PersistStats{
 		Path:              s.path,
 		WALBytes:          s.log.Size(),
-		Commits:           s.commits,
 		Checkpoints:       s.checkpoints,
 		FilePages:         s.fs.NumPages(),
 		PendingPages:      s.tx.PendingPages(),
-		Seq:               s.super.Seq,
 		LastCheckpointErr: s.lastCheckpointErr,
 	}
+	db.updateMu.RUnlock()
+	s.cmu.Lock()
+	out.Commits = s.commits
+	out.Fsyncs = s.fsyncs
+	out.GroupCommits = s.grouped
+	out.MaxBatch = s.batchMax
+	out.Seq = s.durableSeq
+	s.cmu.Unlock()
+	if out.Fsyncs > 0 {
+		out.AvgBatch = float64(out.Commits) / float64(out.Fsyncs)
+	}
+	return out
 }
 
-// Checkpoint writes every committed page back to the data file, fsyncs it,
-// and truncates the write-ahead log, bounding recovery time and WAL size.
-// It is a no-op on an in-memory database. A failed checkpoint leaves the
-// database fully usable: the WAL still covers everything, and the
-// checkpoint can simply be retried.
+// Checkpoint writes every committed page back to the data file, rewrites
+// the catalog blobs, fsyncs, and truncates the write-ahead log, bounding
+// recovery time and WAL size. It is a no-op on an in-memory database. A
+// failed checkpoint leaves the database fully usable: the WAL still covers
+// everything, and the checkpoint can simply be retried.
 func (db *Database) Checkpoint() error {
 	if db.store == nil {
 		return nil
@@ -308,8 +462,12 @@ func (db *Database) Close() error {
 	if s.closed {
 		return nil
 	}
+	// Drain the commit queue even on a poisoned handle so no mutator stays
+	// parked on a ticket; on a healthy handle the checkpoint below drains
+	// it anyway before touching the WAL.
+	db.flushCommitsLocked()
 	var firstErr error
-	if s.broken == nil {
+	if s.brokenErr() == nil {
 		firstErr = db.checkpointLocked()
 	}
 	if err := s.log.Close(); err != nil && firstErr == nil {
@@ -322,184 +480,512 @@ func (db *Database) Close() error {
 	return firstErr
 }
 
-// commitAfterUpdate is deferred by every mutator: it makes the mutation
-// durable and, when the mutation itself succeeded but the commit failed,
-// surfaces the commit error instead.
-func (db *Database) commitAfterUpdate(errp *error, obstChanged bool) {
+// brokenErr returns the poison error, if any.
+func (s *durableStore) brokenErr() error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.broken
+}
+
+// stageCommit is deferred by every mutator while it still holds the update
+// lock: it stages the mutation's commit (dirty pages + catalog delta) into
+// the group-commit queue and hands back the ticket the mutator parks on
+// after unlocking. When the mutation itself succeeded but staging failed,
+// the staging error is surfaced instead.
+func (db *Database) stageCommit(errp *error, tkp **commitTicket, obstChanged bool) {
 	if db.store == nil {
 		return
 	}
-	if err := db.commitLocked(obstChanged); err != nil && *errp == nil {
+	tk, err := db.stageCommitLocked(obstChanged)
+	if err != nil && *errp == nil {
 		*errp = err
+	}
+	*tkp = tk
+}
+
+// awaitCommit is deferred by every mutator so that it runs after the update
+// lock is released: it parks on the staged ticket until a committer has
+// made the commit durable (sharing the fsync with every other commit in the
+// batch), then runs the auto-checkpoint if the WAL crossed its threshold.
+func (db *Database) awaitCommit(errp *error, tkp **commitTicket) {
+	if db.store == nil || *tkp == nil {
+		return
+	}
+	if err := db.store.awaitTicket(*tkp); err != nil {
+		if *errp == nil {
+			*errp = err
+		}
+		return
+	}
+	db.maybeAutoCheckpoint()
+}
+
+// stageCommitLocked builds the commit for everything the current mutation
+// changed — flushing tree buffers, capturing the dirty page images, and
+// encoding the catalog delta (generation, allocation frontier, free-list
+// ops, touched dataset metas, obstacle ops) — assigns it the next sequence
+// number, and enqueues it. Callers hold the updateMu write side, which is
+// what orders staging: queue order equals sequence order equals WAL order.
+//
+// In fsync-per-commit legacy mode the commit is written and fsynced inline
+// instead (the pre-group-commit protocol: the mutator holds the update lock
+// through its own fsync), and no ticket is returned.
+func (db *Database) stageCommitLocked(obstChanged bool) (*commitTicket, error) {
+	s := db.store
+	if s.closed {
+		return nil, ErrDatabaseClosed
+	}
+	if err := s.brokenErr(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+	}
+	if err := db.flushTreeBuffers(); err != nil {
+		s.poison(err)
+		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+	}
+	writes := s.tx.CaptureDirty()
+	pages := make([]wal.Page, len(writes))
+	for i, w := range writes {
+		pages[i] = wal.Page{ID: uint32(w.ID), Data: w.Data}
+		s.logged[w.ID] = struct{}{}
+	}
+	next, _ := s.fs.AllocState()
+	delta := &catalog.Delta{
+		Generation: db.gen.Load(),
+		Next:       next,
+		FreeOps:    s.fs.DrainAllocLog(),
+		Datasets:   db.dirtyDatasetMetas(),
+	}
+	if obstChanged {
+		delta.Obst = db.obstacleDeltaLocked()
+		s.obstDirty = true
+	}
+	s.seq++
+	tk := &commitTicket{
+		tx:   wal.BatchTx{Seq: s.seq, Pages: pages, Delta: catalog.EncodeDelta(delta)},
+		done: make(chan struct{}),
+	}
+	if s.legacy {
+		s.writeBatch([]*commitTicket{tk})
+		if tk.err == nil && s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
+			s.lastCheckpointErr = db.checkpointLocked()
+		}
+		return nil, tk.err
+	}
+	s.qmu.Lock()
+	s.queue = append(s.queue, tk)
+	s.qmu.Unlock()
+	return tk, nil
+}
+
+// dirtyDatasetMetas snapshots the catalog records of the datasets the
+// current mutation touched and clears the tracking set. Callers hold the
+// updateMu write side.
+func (db *Database) dirtyDatasetMetas() []catalog.DatasetMeta {
+	s := db.store
+	if len(s.dirtyDatasets) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.dirtyDatasets))
+	for name := range s.dirtyDatasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	clear(s.dirtyDatasets)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	metas := make([]catalog.DatasetMeta, 0, len(names))
+	for _, name := range names {
+		ps, ok := db.datasets[name]
+		if !ok {
+			continue
+		}
+		t := ps.Tree()
+		metas = append(metas, catalog.DatasetMeta{
+			Name:    name,
+			Tree:    catalog.TreeMeta{Root: t.Root(), Height: t.Height(), Size: t.Len()},
+			IDBound: ps.IDBound(),
+		})
+	}
+	return metas
+}
+
+// obstacleDeltaLocked snapshots the obstacle-set header plus the obstacle
+// ops of the current mutation and clears the tracking lists. Callers hold
+// the updateMu write side.
+func (db *Database) obstacleDeltaLocked() *catalog.ObstacleDelta {
+	s := db.store
+	o := db.obstSet
+	t := o.Tree()
+	od := &catalog.ObstacleDelta{
+		Tree:       catalog.TreeMeta{Root: t.Root(), Height: t.Height(), Size: t.Len()},
+		IDBound:    o.IDBound(),
+		Generation: o.Generation(),
+		Added:      s.obstAdds,
+		Removed:    s.obstRemoves,
+	}
+	s.obstAdds, s.obstRemoves = nil, nil
+	return od
+}
+
+// noteDatasetDirty records that the current mutation touched a dataset, so
+// the staged delta carries its updated catalog record. Callers hold the
+// updateMu write side. No-op on in-memory databases.
+func (db *Database) noteDatasetDirty(name string) {
+	if s := db.store; s != nil {
+		s.dirtyDatasets[name] = struct{}{}
 	}
 }
 
-// commitLocked makes the current in-memory state durable. Callers hold the
-// updateMu write side. The protocol:
+// noteObstacleAdd records one polygon the current mutation indexed.
+func (db *Database) noteObstacleAdd(id int64, verts []geom.Point) {
+	if s := db.store; s != nil {
+		s.obstAdds = append(s.obstAdds, catalog.ObstacleAdd{ID: id, Verts: verts})
+	}
+}
+
+// noteObstacleRemove records one obstacle id the current mutation removed.
+func (db *Database) noteObstacleRemove(id int64) {
+	if s := db.store; s != nil {
+		s.obstRemoves = append(s.obstRemoves, id)
+	}
+}
+
+// awaitTicket parks until the ticket's commit is durable. The caller holds
+// no locks. Leadership is elected among the waiters themselves (and the
+// checkpoint path): whoever wins the token drains the queue — writing one
+// multi-transaction WAL batch per fsync — and wakes every ticket it
+// covered, so a mutator never fsyncs alone while others wait behind it.
+func (s *durableStore) awaitTicket(tk *commitTicket) error {
+	for {
+		select {
+		case <-tk.done:
+			return tk.err
+		case s.leaderTok <- struct{}{}:
+			s.drainQueue(true)
+			<-s.leaderTok
+		}
+	}
+}
+
+// takeBatch moves up to maxBatch-len(batch) queued tickets onto batch.
+func (s *durableStore) takeBatch(batch []*commitTicket) []*commitTicket {
+	s.qmu.Lock()
+	take := s.maxBatch - len(batch)
+	if take > len(s.queue) {
+		take = len(s.queue)
+	}
+	if take > 0 {
+		batch = append(batch, s.queue[:take]...)
+		s.queue = s.queue[take:]
+	}
+	if len(s.queue) == 0 {
+		s.queue = nil
+	}
+	s.qmu.Unlock()
+	return batch
+}
+
+// drainQueue empties the commit queue in batches of at most maxBatch,
+// writing and fsyncing each. Callers hold the leader token.
 //
-//  1. rewrite the changed catalog blobs through the transactional overlay
-//     (the obstacle blob only when obstacles changed; the state blob —
-//     generation, page free list, dataset roots — every time),
-//  2. flush every tree's buffer pool, pushing dirty node pages into the
-//     overlay,
-//  3. append every page image written since the last commit to the WAL,
-//     followed by the new superblock and a commit record, and fsync.
+// With wait=true the committer absorbs imminent arrivals before fsyncing:
+// the mutators a batch acknowledgment wakes re-stage their next commits
+// within tens of microseconds, and fsyncing before they land pays one fsync
+// per straggler — the failure mode that makes naive group commit degrade
+// back to fsync-per-commit. The committer therefore polls the queue until
+// it quiesces (one poll window passes with no new arrival — every mutator
+// in its commit cycle is now parked in this batch), bounded by
+// GroupCommitMaxDelay or, by default, half the measured fsync cost:
+// spending a fraction of an fsync of latency to share the whole fsync is a
+// win. The wait is gated on observed contention — a lone writer (batch of
+// one following a batch of one) never waits at all. The checkpoint path
+// drains with wait=false.
+func (s *durableStore) drainQueue(wait bool) {
+	for {
+		batch := s.takeBatch(nil)
+		if len(batch) == 0 {
+			return
+		}
+		// Wait when contention is evident (this or the previous batch had
+		// company) or when the caller opted into a fixed delay — on a
+		// lightly scheduled box the fsync syscall may monopolize the only
+		// CPU, so overlap alone cannot always bootstrap batching, and the
+		// yield-polls below are what hand waiting mutators the CPU.
+		contended := len(batch) > 1 || s.lastBatch.Load() > 1 || s.maxDelay > 0
+		if wait && contended && len(batch) < s.maxBatch {
+			budget := s.maxDelay
+			if budget == 0 {
+				budget = time.Duration(s.fsyncEWMA.Load()) * time.Microsecond / 2
+			}
+			// Yield-poll rather than sleep: time.Sleep has millisecond
+			// granularity on some kernels, while Gosched hands the CPU
+			// straight to the re-staging mutators we are waiting for.
+			// Quiesce = several consecutive yields with no arrival.
+			idle := 0
+			for deadline := time.Now().Add(budget); idle < 4 && len(batch) < s.maxBatch && time.Now().Before(deadline); {
+				runtime.Gosched()
+				before := len(batch)
+				batch = s.takeBatch(batch)
+				if len(batch) == before {
+					idle++
+				} else {
+					idle = 0
+				}
+			}
+		}
+		s.writeBatch(batch)
+	}
+}
+
+// writeBatch appends the batch to the WAL as one commit group — shared
+// commit record, page images deduplicated across members — fsyncs once,
+// then wakes every ticket. On failure nothing in the batch is
+// acknowledged: the handle poisons (once — the first error is kept) and
+// every ticket in the batch reports the poison error.
+func (s *durableStore) writeBatch(batch []*commitTicket) {
+	err := s.brokenErr()
+	if err == nil {
+		txs := make([]wal.BatchTx, len(batch))
+		for i, tk := range batch {
+			txs[i] = tk.tx
+		}
+		start := time.Now()
+		err = s.log.AppendGroup(txs)
+		// EWMA of the write+fsync cost, the adaptive top-up budget.
+		cost := time.Since(start).Microseconds()
+		s.fsyncEWMA.Store((3*s.fsyncEWMA.Load() + cost) / 4)
+	}
+	s.lastBatch.Store(int64(len(batch)))
+	s.cmu.Lock()
+	if err == nil {
+		s.commits += uint64(len(batch))
+		s.fsyncs++
+		if len(batch) > 1 {
+			s.grouped++
+		}
+		if len(batch) > s.batchMax {
+			s.batchMax = len(batch)
+		}
+		s.durableSeq = batch[len(batch)-1].tx.Seq
+	} else if s.broken == nil {
+		s.broken = err
+	}
+	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
+	}
+	s.cmu.Unlock()
+	for _, tk := range batch {
+		tk.err = err
+		close(tk.done)
+	}
+}
+
+// poison marks the handle broken with the first error that made the
+// in-memory state unrecoverable.
+func (s *durableStore) poison(err error) {
+	s.cmu.Lock()
+	if s.broken == nil {
+		s.broken = err
+	}
+	s.cmu.Unlock()
+}
+
+// flushCommitsLocked drains the commit queue and waits out any in-flight
+// batch, so the WAL is quiescent and every staged commit is resolved.
+// Callers hold the updateMu write side, which keeps the queue empty after
+// the flush (no mutator can stage).
+func (db *Database) flushCommitsLocked() {
+	s := db.store
+	s.leaderTok <- struct{}{}
+	s.drainQueue(false)
+	<-s.leaderTok
+}
+
+// maybeAutoCheckpoint checkpoints when the WAL has crossed the configured
+// threshold. Called by mutators after their commit is acknowledged; the
+// first of a woken batch to take the update lock does the work and the rest
+// see an empty WAL and skip. Checkpoint errors never fail the mutator that
+// triggered them (its mutation is already durable); they surface via
+// PersistStats.LastCheckpointErr.
+func (db *Database) maybeAutoCheckpoint() {
+	s := db.store
+	if s.autoCheckpoint <= 0 || s.log.Size() < s.autoCheckpoint {
+		return
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	if s.closed || s.log.Size() < s.autoCheckpoint {
+		return
+	}
+	s.lastCheckpointErr = db.checkpointLocked()
+}
+
+// checkpointLocked folds the WAL into the data file: every committed page
+// image is written back, the catalog blobs are rewritten from the live
+// state, the superblock is updated, and the WAL is truncated. Callers hold
+// the updateMu write side. The protocol, ordered so that a crash at any
+// point recovers (old superblock + old blobs + WAL before the new
+// superblock is durable; new superblock + new blobs after):
 //
-// The data file itself is not touched — write-back happens at the next
-// checkpoint — so a crash at any point loses at most the uncommitted tail
-// of the WAL. A WAL append/fsync failure permanently breaks the handle
-// (ErrNeedsReopen): the in-memory state can no longer be made durable.
-func (db *Database) commitLocked(obstChanged bool) error {
+//  1. drain the commit queue, so every staged commit is durable and the
+//     WAL is quiescent;
+//  2. write the new catalog blobs through the transactional overlay into
+//     freshly allocated pages — never pages of the old chains, and never
+//     pages with images in the live WAL (shadow paging: the old catalog
+//     must stay readable until the new superblock is durable, and a
+//     replayed page image must never land on a live blob page);
+//  3. apply the overlay to the data file and fsync it;
+//  4. write the new superblock (sequence = last committed) and fsync;
+//  5. truncate the WAL;
+//  6. release the old chain pages to the free list.
+//
+// A failure before step 4 is harmless and retryable — the freshly
+// allocated chains are rolled back, the WAL still covers everything. A
+// failed WAL truncation (step 5) leaves the checkpoint in force; replay
+// skips the already-folded deltas by sequence number and re-applies page
+// images, which is idempotent.
+func (db *Database) checkpointLocked() error {
 	s := db.store
 	if s.closed {
 		return ErrDatabaseClosed
 	}
-	if s.broken != nil {
-		return fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
-	}
-	breakWith := func(err error) error {
-		s.broken = err
+	db.flushCommitsLocked()
+	if err := s.brokenErr(); err != nil {
 		return fmt.Errorf("%w: %v", ErrNeedsReopen, err)
 	}
 	pageSize := s.fs.PageSize()
 
-	obstRef := s.super.Obstacles
-	if obstChanged || obstRef.Root == pagefile.InvalidPage {
-		var err error
-		if obstRef, err = db.replaceBlob(obstRef, db.encodeObstacles()); err != nil {
-			return breakWith(err)
+	// held collects allocated-but-unusable pages (their ids have images in
+	// the live WAL); they stay free across the checkpoint.
+	var held, newObstPages, newStatePages []pagefile.PageID
+	allocClean := func() (pagefile.PageID, error) {
+		for {
+			id, err := s.tx.Allocate()
+			if err != nil {
+				return pagefile.InvalidPage, err
+			}
+			if _, bad := s.logged[id]; !bad {
+				return id, nil
+			}
+			held = append(held, id)
 		}
 	}
-
-	if err := db.flushTreeBuffers(); err != nil {
-		return breakWith(err)
+	fail := func(err error) error {
+		// Roll back this checkpoint's allocations so retries do not leak
+		// pages: nothing references the fresh chains yet.
+		for _, id := range held {
+			_ = s.tx.Free(id)
+		}
+		for _, id := range newObstPages {
+			_ = s.tx.Free(id)
+		}
+		for _, id := range newStatePages {
+			_ = s.tx.Free(id)
+		}
+		return err
 	}
 
-	// The state blob contains the page free list, and storing the blob
-	// itself allocates pages, shrinking that list — so grow the chain until
-	// the encoding fits, allocating each round's full shortfall at once.
-	// Allocations only shrink the blob (or leave it unchanged when the file
-	// grows instead), so the need is non-increasing and this converges in a
-	// couple of iterations regardless of blob size.
-	if err := db.freeBlob(s.super.State); err != nil {
-		return breakWith(err)
+	// Walk the old chains up front: they are retired (freed) only after
+	// the new superblock is durable, and their pages are excluded from the
+	// new chains by construction (they are still allocated here).
+	oldState, err := catalog.BlobChain(s.tx, s.super.State)
+	if err != nil {
+		return fmt.Errorf("obstacles: checkpoint reading old state chain: %w", err)
 	}
-	var pages []pagefile.PageID
+	obstRef := s.super.Obstacles
+	var oldObst []pagefile.PageID
+	if s.obstDirty || s.super.Obstacles.Root == pagefile.InvalidPage {
+		if oldObst, err = catalog.BlobChain(s.tx, s.super.Obstacles); err != nil {
+			return fmt.Errorf("obstacles: checkpoint reading old obstacle chain: %w", err)
+		}
+		data := db.encodeObstacles()
+		for len(newObstPages) < catalog.BlobPages(pageSize, len(data)) {
+			id, err := allocClean()
+			if err != nil {
+				return fail(err)
+			}
+			newObstPages = append(newObstPages, id)
+		}
+		if obstRef, err = catalog.WriteBlob(s.tx, newObstPages, data); err != nil {
+			return fail(fmt.Errorf("obstacles: checkpoint obstacle blob: %w", err))
+		}
+	}
+	retired := append(append([]pagefile.PageID(nil), oldState...), oldObst...)
+
+	// The state blob contains the full page free list — including the
+	// held pages and the chains being retired, which are free in the
+	// post-checkpoint world — and storing the blob itself allocates pages,
+	// shrinking that list; grow the chain until the encoding fits. Each
+	// allocation shrinks the encoded list or leaves it unchanged (frontier
+	// growth, or a held page moving between two encoded sets), so the need
+	// is non-increasing and this converges.
 	var data []byte
 	for {
 		_, free := s.fs.AllocState()
+		free = append(append(free, held...), retired...)
 		data = catalog.EncodeState(&catalog.State{
 			Generation: db.gen.Load(),
 			PageFree:   free,
 			Datasets:   db.datasetMetas(),
 		})
 		need := catalog.BlobPages(pageSize, len(data))
-		if need <= len(pages) {
+		if need <= len(newStatePages) {
 			break
 		}
-		for len(pages) < need {
-			id, err := s.tx.Allocate()
+		for len(newStatePages) < need {
+			id, err := allocClean()
 			if err != nil {
-				return breakWith(err)
+				return fail(err)
 			}
-			pages = append(pages, id)
+			newStatePages = append(newStatePages, id)
 		}
 	}
-	stateRef, err := catalog.WriteBlob(s.tx, pages, data)
+	stateRef, err := catalog.WriteBlob(s.tx, newStatePages, data)
 	if err != nil {
-		return breakWith(err)
+		return fail(fmt.Errorf("obstacles: checkpoint state blob: %w", err))
 	}
 
 	next, _ := s.fs.AllocState()
 	sb := pagefile.Superblock{
 		PageSize:  pageSize,
 		Next:      next,
-		Seq:       s.super.Seq + 1,
+		Seq:       s.seq,
 		State:     stateRef,
 		Obstacles: obstRef,
 	}
-	for _, w := range s.tx.CaptureDirty() {
-		if err := s.log.AppendPage(uint32(w.ID), w.Data); err != nil {
-			return breakWith(err)
-		}
-	}
-	if err := s.log.AppendMeta(pagefile.EncodeSuperblock(sb)); err != nil {
-		return breakWith(err)
-	}
-	if err := s.log.Commit(sb.Seq); err != nil {
-		return breakWith(err)
-	}
-	s.super = sb
-	s.commits++
-
-	if s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
-		// The mutation is already durable, and a failed checkpoint loses
-		// nothing (the WAL still covers everything and the next threshold
-		// crossing, explicit Checkpoint, or Close retries it) — so a
-		// checkpoint error must not fail the mutator that triggered it.
-		// It is remembered for PersistStats instead.
-		s.lastCheckpointErr = db.checkpointLocked()
-	}
-	return nil
-}
-
-// checkpointLocked applies the overlay to the data file, persists the
-// superblock, fsyncs, and truncates the WAL. Every step before the WAL
-// truncation is redone by replay if interrupted, so a failure here never
-// loses committed state.
-func (db *Database) checkpointLocked() error {
-	s := db.store
-	if s.closed {
-		return ErrDatabaseClosed
-	}
-	if s.broken != nil {
-		return fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
-	}
 	if err := s.tx.Apply(); err != nil {
-		return fmt.Errorf("obstacles: checkpoint write-back: %w", err)
-	}
-	if err := s.fs.WriteSuperblock(s.super); err != nil {
-		return fmt.Errorf("obstacles: checkpoint superblock: %w", err)
+		return fail(fmt.Errorf("obstacles: checkpoint write-back: %w", err))
 	}
 	if err := s.fs.Sync(); err != nil {
-		return fmt.Errorf("obstacles: checkpoint sync: %w", err)
+		return fail(fmt.Errorf("obstacles: checkpoint data sync: %w", err))
 	}
+	if err := s.fs.WriteSuperblock(sb); err != nil {
+		return fail(fmt.Errorf("obstacles: checkpoint superblock: %w", err))
+	}
+	if err := s.fs.Sync(); err != nil {
+		return fail(fmt.Errorf("obstacles: checkpoint superblock sync: %w", err))
+	}
+
+	// Point of no return: the superblock references the new blobs. Retire
+	// the old chains and release the held pages; from here a failure to
+	// truncate the WAL is retryable and replay stays correct (deltas at or
+	// below sb.Seq are skipped, page images are idempotent and the new
+	// chains avoided every logged page).
+	s.super = sb
+	for _, id := range retired {
+		_ = s.tx.Free(id)
+	}
+	for _, id := range held {
+		_ = s.tx.Free(id)
+	}
+	s.fs.DrainAllocLog() // folded into the full free list just written
+	s.obstDirty = false
 	if err := s.log.Reset(); err != nil {
 		return fmt.Errorf("obstacles: truncating WAL: %w", err)
 	}
+	s.logged = make(map[pagefile.PageID]struct{})
 	s.checkpoints++
 	s.lastCheckpointErr = nil
-	return nil
-}
-
-// replaceBlob frees a blob's old chain and writes data as its replacement,
-// reusing the freed pages first.
-func (db *Database) replaceBlob(old pagefile.BlobRef, data []byte) (pagefile.BlobRef, error) {
-	if err := db.freeBlob(old); err != nil {
-		return pagefile.BlobRef{}, err
-	}
-	s := db.store
-	pages := make([]pagefile.PageID, catalog.BlobPages(s.fs.PageSize(), len(data)))
-	for i := range pages {
-		var err error
-		if pages[i], err = s.tx.Allocate(); err != nil {
-			return pagefile.BlobRef{}, err
-		}
-	}
-	return catalog.WriteBlob(s.tx, pages, data)
-}
-
-func (db *Database) freeBlob(ref pagefile.BlobRef) error {
-	s := db.store
-	chain, err := catalog.BlobChain(s.tx, ref)
-	if err != nil {
-		return err
-	}
-	for _, id := range chain {
-		if err := s.tx.Free(id); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 

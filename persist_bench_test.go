@@ -1,8 +1,11 @@
 package obstacles
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dataset"
@@ -117,4 +120,89 @@ func BenchmarkMemChurn(b *testing.B) {
 		b.Fatal(err)
 	}
 	churnLoop(b, db)
+}
+
+// churnLoopParallel spreads b.N insert-one/delete-one mutations over the
+// given number of goroutines, each churning its own id window — the
+// multi-writer durable workload whose commits the group committer batches
+// into shared fsyncs.
+func churnLoopParallel(b *testing.B, db *Database, workers int) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(77 + int64(w)*131))
+			var live []int64
+			for next.Add(1) <= int64(b.N) {
+				ids, err := db.InsertPoints("P", Pt(rng.Float64()*10000, rng.Float64()*10000))
+				if err != nil {
+					errc <- err
+					return
+				}
+				live = append(live, ids...)
+				if len(live) > 64 {
+					if err := db.DeletePoints("P", live[0]); err != nil {
+						errc <- err
+						return
+					}
+					live = live[1:]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		b.Fatal(err)
+	}
+	st := db.PersistStats()
+	if st.Commits > 0 && st.Fsyncs > 0 {
+		b.ReportMetric(float64(st.Commits)/float64(st.Fsyncs), "commits/fsync")
+		b.ReportMetric(float64(st.MaxBatch), "max-batch")
+	}
+}
+
+// BenchmarkDurableChurnParallel measures multi-writer durable churn under
+// group commit (the default): concurrent mutators stage while a committer
+// fsyncs, so throughput scales with batching rather than fsync count.
+func BenchmarkDurableChurnParallel(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rects, pts := benchWorld(1000, 2000)
+			path := filepath.Join(b.TempDir(), "churn.obs")
+			buildDurable(b, path, rects, pts)
+			db, err := Open(path, DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			churnLoopParallel(b, db, workers)
+		})
+	}
+}
+
+// BenchmarkDurableChurnLegacy is the fsync-per-commit baseline the group
+// committer replaces (Options.GroupCommitMaxBatch < 0): every mutator holds
+// the update lock through its own fsync, so adding writers cannot help.
+func BenchmarkDurableChurnLegacy(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rects, pts := benchWorld(1000, 2000)
+			path := filepath.Join(b.TempDir(), "churn.obs")
+			buildDurable(b, path, rects, pts)
+			opts := DefaultOptions()
+			opts.GroupCommitMaxBatch = -1
+			db, err := Open(path, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			churnLoopParallel(b, db, workers)
+		})
+	}
 }
