@@ -150,7 +150,7 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 	for i, id := range liveIDs {
 		idToIdx[id] = i
 	}
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	var st core.Stats
 	oracle := sessionOracle{sess: sess, ps: ps, st: &st, liveIDs: liveIDs, idToIdx: idToIdx}
 	var res *cluster.Result
@@ -172,7 +172,7 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 	default:
 		return nil, fmt.Errorf("obstacles: unknown clustering algorithm %v", copts.Algorithm)
 	}
-	cfg.record(sess, st, start)
+	db.record(VerbCluster, &cfg, sess, st, start, err)
 	if err != nil {
 		return nil, fmt.Errorf("obstacles: clustering %q: %w", dataset, err)
 	}
@@ -214,9 +214,9 @@ func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []
 	start := time.Now()
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	d, st, err := sess.BatchDistances(q, targets)
-	cfg.record(sess, st, start)
+	db.record(VerbBatchDistances, &cfg, sess, st, start, err)
 	return d, err
 }
 
@@ -229,8 +229,8 @@ func (db *Database) DistanceMatrix(ctx context.Context, pts []Point, opts ...Que
 	start := time.Now()
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	m, st, err := sess.DistanceMatrix(pts)
-	cfg.record(sess, st, start)
+	db.record(VerbDistanceMatrix, &cfg, sess, st, start, err)
 	return m, err
 }

@@ -59,6 +59,7 @@ func main() {
 		dbPath   = flag.String("db", "", "churn a durable database file at this path instead of in memory (created if missing; updates commit through the WAL)")
 		workers  = flag.Int("workers", 0, "with -db: run N parallel durable mutators (pure update workload) and report commit latency percentiles")
 		legacy   = flag.Bool("legacy", false, "with -db: fsync-per-commit legacy mode (GroupCommitMaxBatch=-1), the pre-group-commit baseline")
+		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 	if *legacy {
 		dopts.GroupCommitMaxBatch = -1
 	}
+	dopts.DebugAddr = *debug
 	world := dataset.Generate(dataset.DefaultConfig(*seed, *nObst))
 	var db *obstacles.Database
 	var err error
@@ -82,8 +84,13 @@ func main() {
 				fatal(err)
 			}
 		}
-	} else if db, err = obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions()); err != nil {
+	} else if db, err = obstacles.NewDatabase(world.Polys, dopts); err != nil {
 		fatal(err)
+	} else {
+		defer db.Close() // stops the debug listener; no durable backend
+	}
+	if *debug != "" {
+		fmt.Printf("debug listener: http://%s/metrics\n", db.DebugAddr())
 	}
 	if !db.HasDataset("P") {
 		pts := world.Entities(world.EntityRand(2), *nPts)
@@ -148,8 +155,8 @@ func main() {
 		float64(q)/elapsed.Seconds(), float64(q+u)/elapsed.Seconds())
 	fmt.Printf("page accesses: %d total, %.2f per query\n", pageAccs.Load(), float64(pageAccs.Load())/float64(q))
 	cs := db.GraphCacheStats()
-	fmt.Printf("graph cache: %d hits, %d misses, %d evictions, %d invalidations\n",
-		cs.Hits, cs.Misses, cs.Evictions, cs.Invalidations)
+	fmt.Printf("graph cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d invalidations\n",
+		cs.Hits, cs.Misses, cs.HitRate()*100, cs.Evictions, cs.Invalidations)
 	n, err := db.DatasetLen("P")
 	if err != nil {
 		fatal(err)
@@ -157,8 +164,8 @@ func main() {
 	fmt.Printf("final state: %d obstacles, %d entities\n", db.NumObstacles(), n)
 	if db.Persistent() {
 		pst := db.PersistStats()
-		fmt.Printf("durability: %d commits, %d checkpoints, wal %d bytes, %d file pages (%d pending write-back)\n",
-			pst.Commits, pst.Checkpoints, pst.WALBytes, pst.FilePages, pst.PendingPages)
+		fmt.Printf("durability: %d commits, %d fsyncs (%.2f commits/fsync), %d checkpoints, wal %d bytes, %d file pages (%d pending write-back)\n",
+			pst.Commits, pst.Fsyncs, pst.AvgBatch, pst.Checkpoints, pst.WALBytes, pst.FilePages, pst.PendingPages)
 	}
 }
 
@@ -228,11 +235,16 @@ func runDurableMutators(db *obstacles.Database, workers, ops int, seed int64, un
 	if legacy {
 		mode = "fsync-per-commit"
 	}
+	// A zero-op run (or a fresh handle) has no fsyncs yet; don't print NaN.
+	perFsync := 0.0
+	if fsyncs > 0 {
+		perFsync = float64(commits) / float64(fsyncs)
+	}
 	fmt.Printf("\n%d durable commits by %d workers in %v (%s)\n", commits, workers, elapsed, mode)
 	fmt.Printf("throughput:     %.1f commits/sec\n", float64(commits)/elapsed.Seconds())
 	fmt.Printf("commit latency: p50 %v, p99 %v\n", pct(0.50), pct(0.99))
 	fmt.Printf("fsyncs:         %d (%.2f commits/fsync; largest batch %d, %d grouped fsyncs)\n",
-		fsyncs, float64(commits)/float64(fsyncs), after.MaxBatch, after.GroupCommits-before.GroupCommits)
+		fsyncs, perFsync, after.MaxBatch, after.GroupCommits-before.GroupCommits)
 	fmt.Printf("wal:            %d bytes (%d checkpoints)\n", after.WALBytes, after.Checkpoints-before.Checkpoints)
 }
 

@@ -36,6 +36,7 @@ func main() {
 		assign  = flag.String("assign", "", "write per-entity assignments to this CSV file")
 		naive   = flag.Bool("naive", false, "naive visibility (for overlapping obstacle data)")
 		timeout = flag.Duration("timeout", 0, "abort the clustering job after this long (0 = none)")
+		debug   = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the tool runs")
 	)
 	flag.Parse()
 
@@ -49,9 +50,14 @@ func main() {
 	}
 	opts := obstacles.DefaultOptions()
 	opts.NaiveVisibility = *naive
+	opts.DebugAddr = *debug
 	db, err := obstacles.NewDatabaseFromRects(rects, opts)
 	if err != nil {
 		fatal(err)
+	}
+	defer db.Close()
+	if *debug != "" {
+		fmt.Printf("debug listener: http://%s/metrics\n", db.DebugAddr())
 	}
 	if err := db.AddDataset("P", pts); err != nil {
 		fatal(err)

@@ -44,6 +44,7 @@ func main() {
 		naive    = flag.Bool("naive", false, "naive visibility (for overlapping obstacle data)")
 		timeout  = flag.Duration("timeout", 0, "per-query timeout (0 = none); expired queries fail with context.DeadlineExceeded")
 		parallel = flag.Int("parallel", 1, "run the query from N goroutines concurrently")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the tool runs")
 	)
 	flag.Parse()
 
@@ -53,9 +54,14 @@ func main() {
 	}
 	opts := obstacles.DefaultOptions()
 	opts.NaiveVisibility = *naive
+	opts.DebugAddr = *debug
 	db, err := obstacles.NewDatabaseFromRects(rects, opts)
 	if err != nil {
 		fatal(err)
+	}
+	defer db.Close()
+	if *debug != "" {
+		fmt.Printf("debug listener: http://%s/metrics\n", db.DebugAddr())
 	}
 	pts, err := readPoints(filepath.Join(*dataDir, "entities.csv"))
 	if err != nil {

@@ -8,13 +8,17 @@
 //	obsstore inspect -db city.obs
 //	obsstore checkpoint -db city.obs
 //	obsstore verify -db city.obs
+//	obsstore serve-metrics -db city.obs -addr localhost:6060
 //
 // create builds a durable file from a generated street world (obsgen's
 // generator, reproducible byte-for-byte from -seed) or from CSV files
 // written by obsgen. inspect prints the superblock-level stats and the
 // catalog contents. checkpoint applies the WAL to the data file and
 // truncates it. verify reopens the file and cross-checks a sample of
-// queries against an in-memory rebuild of the same data.
+// queries against an in-memory rebuild of the same data. serve-metrics
+// holds the file open and serves its telemetry — /metrics in the
+// Prometheus text format, /debug/vars as JSON, pprof under /debug/pprof/ —
+// until interrupted.
 //
 // Opening a database file — by any subcommand — first replays WAL
 // transactions a crash left unapplied, exactly like obstacles.Open.
@@ -26,6 +30,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
 	obstacles "repro"
 	"repro/internal/dataset"
@@ -47,6 +53,8 @@ func main() {
 		err = checkpoint(args)
 	case "verify":
 		err = verify(args)
+	case "serve-metrics":
+		err = serveMetrics(args)
 	default:
 		usage()
 	}
@@ -57,8 +65,32 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify} -db <file> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify|serve-metrics} -db <file> [flags]")
 	os.Exit(2)
+}
+
+// serveMetrics opens the database with its debug listener enabled and
+// parks until interrupted, so any scraper can collect the file's telemetry
+// (and pprof profiles) while other tools are kept out by the file lock.
+func serveMetrics(args []string) error {
+	fs := flag.NewFlagSet("serve-metrics", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	addr := fs.String("addr", "localhost:6060", "listen address (host:0 picks a free port)")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("serve-metrics: -db is required")
+	}
+	db, err := obstacles.Open(*path, obstacles.Options{WALCheckpointBytes: -1, DebugAddr: *addr})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Printf("serving %s telemetry on http://%s/metrics (ctrl-c to stop)\n", *path, db.DebugAddr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	return db.Close()
 }
 
 func create(args []string) error {

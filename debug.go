@@ -1,0 +1,100 @@
+package obstacles
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// debugServer is the HTTP debug listener a Database starts when
+// Options.DebugAddr is set: /metrics in the Prometheus text exposition
+// format, /debug/vars as a JSON snapshot of Metrics() plus PersistStats,
+// and the standard pprof profiles under /debug/pprof/.
+type debugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu   sync.Mutex
+	done chan struct{} // closed once Serve has returned
+}
+
+// startDebug binds and serves the debug listener when Options.DebugAddr is
+// set; a bind failure fails the open (a debug address that silently does
+// nothing is worse than an error).
+func (db *Database) startDebug() error {
+	addr := db.opts.DebugAddr
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obstacles: debug listener on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", db.tel.reg.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Metrics Metrics
+			Persist PersistStats
+		}{db.Metrics(), db.PersistStats()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "obstacles debug listener\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	d := &debugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	db.debug = d
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln) // returns http.ErrServerClosed on stopDebug
+	}()
+	return nil
+}
+
+// DebugAddr returns the bound address of the debug listener ("" when
+// Options.DebugAddr was empty) — with "host:0" this is where the free port
+// landed.
+func (db *Database) DebugAddr() string {
+	if db.debug == nil {
+		return ""
+	}
+	return db.debug.ln.Addr().String()
+}
+
+// stopDebug shuts the debug listener down and waits for the serve loop to
+// exit. Idempotent; a no-op when no listener was started.
+func (db *Database) stopDebug() {
+	d := db.debug
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.done:
+		return // already stopped
+	default:
+	}
+	d.srv.Close()
+	<-d.done
+}

@@ -47,7 +47,7 @@ func (s *Session) batchLocal(source geom.Point, targets []geom.Point) (_ []float
 	if err != nil {
 		return nil, st, err
 	}
-	g := visgraph.Build(s.graphOptions(), obs)
+	g := s.buildGraph(obs)
 	grow := func(radius float64) (bool, error) {
 		return s.addObstaclesWithin(g, source, radius)
 	}
@@ -359,7 +359,7 @@ func (s *Session) localGraph(center geom.Point, radius float64) (g *visgraph.Gra
 	if err != nil {
 		return nil, nil, err
 	}
-	return visgraph.Build(s.graphOptions(), obs), nil, nil
+	return s.buildGraph(obs), nil, nil
 }
 
 // GraphCache is a small LRU of expanded visibility-graph states, keyed by
@@ -438,6 +438,15 @@ type CacheStats struct {
 	// Invalidations counts entries dropped because an obstacle update
 	// touched their coverage disk (see InvalidateRegion).
 	Invalidations uint64
+}
+
+// HitRate returns Hits over (Hits + Misses), or 0 with no traffic.
+func (cs CacheStats) HitRate() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
 }
 
 // NewGraphCache returns a cache of at most capacity expanded graphs over e's
@@ -560,7 +569,7 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 		en.unlock()
 		return nil, 0, err
 	}
-	en.g = visgraph.Build(s.graphOptions(), obs)
+	en.g = s.buildGraph(obs)
 	return en, r0, nil
 }
 

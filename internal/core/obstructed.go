@@ -102,7 +102,7 @@ func (s *Session) ObstructedPath(a, b geom.Point) (_ []geom.Point, _ float64, st
 	if err != nil {
 		return nil, 0, st, err
 	}
-	g := visgraph.Build(s.graphOptions(), obs)
+	g := s.buildGraph(obs)
 	na := g.AddTerminal(a)
 	nb := g.AddTerminal(b)
 	st.DistComputations = 1
@@ -151,7 +151,7 @@ func (s *Session) ObstructedDistance(a, b geom.Point) (_ float64, st Stats, _ er
 	if err != nil {
 		return 0, st, err
 	}
-	g := visgraph.Build(s.graphOptions(), obs)
+	g := s.buildGraph(obs)
 	na := g.AddTerminal(a)
 	nb := g.AddTerminal(b)
 	st.DistComputations = 1

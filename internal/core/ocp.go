@@ -117,7 +117,7 @@ func (c *pairDistCache) distance(pr rtree.PairNeighbor, st *Stats) (float64, err
 		if err != nil {
 			return 0, err
 		}
-		c.g = visgraph.Build(c.s.graphOptions(), obs)
+		c.g = c.s.buildGraph(obs)
 		c.ns = c.g.AddTerminal(sp)
 		c.seedPt = sp
 		c.searched = sp.Dist(t)

@@ -55,7 +55,7 @@ func (s *Session) NearestNeighbors(P *PointSet, q geom.Point, k int) (_ []Result
 	if err != nil {
 		return nil, st, err
 	}
-	g := visgraph.Build(s.graphOptions(), obs)
+	g := s.buildGraph(obs)
 	nq := g.AddTerminal(q)
 	searched := seedMaxE
 
@@ -187,7 +187,7 @@ func (h *resultHeap) Pop() interface{} {
 // canceled, Next stops and Err reports ctx.Err().
 func (s *Session) NearestIterator(P *PointSet, q geom.Point) *NNIterator {
 	w := s.snap()
-	g := visgraph.Build(s.graphOptions(), nil)
+	g := s.buildGraph(nil)
 	return &NNIterator{
 		s:    s,
 		q:    q,

@@ -54,7 +54,7 @@ func (s *Session) Range(P *PointSet, q geom.Point, radius float64) (_ []Result, 
 		return nil, st, err
 	}
 	// Step 3: local visibility graph over obstacles, candidates and q.
-	g := visgraph.Build(s.graphOptions(), obs)
+	g := s.buildGraph(obs)
 	remaining := make(map[visgraph.NodeID]cand, len(cands))
 	for _, c := range cands {
 		remaining[g.AddEntity(c.pt)] = c

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pagefile"
 	"repro/internal/rtree"
+	"repro/internal/telemetry"
 	"repro/internal/visgraph"
 )
 
@@ -38,6 +39,24 @@ type Session struct {
 	// same points once per row or neighborhood. Bounded by the points one
 	// job touches (sessions are per-call).
 	insideMemo map[geom.Point]bool
+	// trace, when set, records the timing of the session's lifecycle
+	// stages (graph builds, obstacle scans, growth rounds). All recording
+	// is nil-safe, so an un-traced session pays one branch per stage.
+	trace *telemetry.Trace
+}
+
+// SetTrace attaches a lifecycle trace to the session; nil detaches.
+func (s *Session) SetTrace(t *telemetry.Trace) { s.trace = t }
+
+// Trace returns the session's lifecycle trace (nil when tracing is off).
+func (s *Session) Trace() *telemetry.Trace { return s.trace }
+
+// buildGraph constructs a visibility graph over the obstacles, recording a
+// "graph-build" span — the single chokepoint every query verb builds
+// graphs through.
+func (s *Session) buildGraph(obs []visgraph.Obstacle) *visgraph.Graph {
+	defer s.trace.StartSpan("graph-build")()
+	return visgraph.Build(s.graphOptions(), obs)
 }
 
 // NewSession starts a query session on the engine. The context governs every
@@ -163,6 +182,7 @@ func (s *Session) relevantObstacles(center geom.Point, radius float64) ([]visgra
 	if err := s.err(); err != nil {
 		return nil, err
 	}
+	defer s.trace.StartSpan("obstacle-scan")()
 	polys := s.e.obstacles.polys
 	var out []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
@@ -185,6 +205,7 @@ func (s *Session) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radiu
 	if err := s.err(); err != nil {
 		return false, err
 	}
+	defer s.trace.StartSpan("graph-grow")()
 	polys := s.e.obstacles.polys
 	var batch []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {

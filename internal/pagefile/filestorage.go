@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Superblock is the fixed-size header at offset 0 of a durable page file.
@@ -134,6 +135,28 @@ type FileStorage struct {
 	free     []PageID
 	freeSet  map[PageID]struct{}
 	allocLog []AllocOp
+	// io counts physical operations on the data file; updated with atomics
+	// so ReadPage/WritePage stay lock-free with respect to allocation.
+	io struct {
+		reads, writes, syncs atomic.Uint64
+	}
+}
+
+// FileIO reports physical operations performed on the data file since open.
+type FileIO struct {
+	// Reads and Writes count page-granularity pread/pwrite calls
+	// (superblock traffic included in Writes via WriteSuperblock); Syncs
+	// counts data-file fsyncs (checkpoint write-back and superblock).
+	Reads, Writes, Syncs uint64
+}
+
+// IO returns the file's physical operation counters.
+func (fs *FileStorage) IO() FileIO {
+	return FileIO{
+		Reads:  fs.io.reads.Load(),
+		Writes: fs.io.writes.Load(),
+		Syncs:  fs.io.syncs.Load(),
+	}
 }
 
 // OpenFileStorage opens (creating if needed) the page file at path and
@@ -200,12 +223,16 @@ func OpenFileStorage(path string, pageSize int) (*FileStorage, Superblock, bool,
 // explicitly at checkpoint boundaries).
 func (fs *FileStorage) WriteSuperblock(sb Superblock) error {
 	sb.PageSize = fs.pageSize
+	fs.io.writes.Add(1)
 	_, err := fs.f.WriteAt(EncodeSuperblock(sb), 0)
 	return err
 }
 
 // Sync fsyncs the data file.
-func (fs *FileStorage) Sync() error { return fs.f.Sync() }
+func (fs *FileStorage) Sync() error {
+	fs.io.syncs.Add(1)
+	return fs.f.Sync()
+}
 
 // Close closes the data file.
 func (fs *FileStorage) Close() error { return fs.f.Close() }
@@ -302,6 +329,7 @@ func (fs *FileStorage) ReadPage(id PageID, dst []byte) error {
 	if id == InvalidPage {
 		return fmt.Errorf("%w: read %d", ErrPageNotFound, id)
 	}
+	fs.io.reads.Add(1)
 	n, err := fs.f.ReadAt(dst[:fs.pageSize], int64(id)*int64(fs.pageSize))
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		for i := n; i < fs.pageSize; i++ {
@@ -320,6 +348,7 @@ func (fs *FileStorage) WritePage(id PageID, data []byte) error {
 	if len(data) != fs.pageSize {
 		return fmt.Errorf("pagefile: write of %d bytes to page of %d bytes", len(data), fs.pageSize)
 	}
+	fs.io.writes.Add(1)
 	_, err := fs.f.WriteAt(data, int64(id)*int64(fs.pageSize))
 	return err
 }

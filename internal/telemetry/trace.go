@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a query's lifecycle.
+type Span struct {
+	// Name identifies the stage ("graph-build", "obstacle-scan", ...).
+	Name string
+	// Start is when the stage began; Duration how long it ran.
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Trace collects the spans of one query lifecycle. The zero value is not
+// usable; NewTrace stamps the trace start. All methods are nil-safe so
+// instrumented code can record unconditionally — a nil trace costs one
+// branch — and a mutex guards the span list because batch stages may record
+// from helper goroutines even though sessions themselves are
+// single-goroutine.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// Span records a completed stage that began at start and ends now.
+func (t *Trace) Span(name string, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.SpanDur(name, start, time.Since(start))
+}
+
+// SpanDur records a completed stage with an explicit duration.
+func (t *Trace) SpanDur(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+	t.mu.Unlock()
+}
+
+// StartSpan returns a function that records the span when called — the
+// defer-friendly form:
+//
+//	defer tr.StartSpan("graph-build")()
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Span(name, start) }
+}
+
+// Start returns when the trace began (the zero time for a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// String renders the trace as one line of `name@offset+dur` entries
+// relative to the trace start — compact enough for a structured log field.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s@%s+%s", sp.Name,
+			sp.Start.Sub(t.start).Round(time.Microsecond),
+			sp.Duration.Round(time.Microsecond))
+	}
+	return b.String()
+}

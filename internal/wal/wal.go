@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // Record types.
@@ -104,6 +105,19 @@ type Log struct {
 	w    *bufio.Writer
 	size int64 // bytes durably part of the log (after last successful commit)
 	tail int64 // bytes appended past size but not yet committed
+	// onSync, when set, observes the latency of each commit-path fsync
+	// syscall (the f.Sync inside sync; Reset's truncation sync is not a
+	// commit and is not reported).
+	onSync func(time.Duration)
+}
+
+// SetSyncHook installs a callback observing each commit fsync's syscall
+// latency. Call before any append; the hook runs with the log's mutex held
+// and must be fast and non-blocking (a histogram observation).
+func (l *Log) SetSyncHook(fn func(time.Duration)) {
+	l.mu.Lock()
+	l.onSync = fn
+	l.mu.Unlock()
 }
 
 // Open opens (creating if missing) the log file at path. The file is opened
@@ -198,7 +212,12 @@ func (l *Log) sync() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	start := time.Now()
+	err := l.f.Sync()
+	if l.onSync != nil {
+		l.onSync(time.Since(start))
+	}
+	if err != nil {
 		return err
 	}
 	l.size += l.tail

@@ -37,7 +37,7 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 		}
 		db.updateMu.RLock()
 		gen := db.generation()
-		sess := db.engine.NewSession(ctx)
+		sess := db.newSession(ctx)
 		it := sess.NearestIterator(ps, q)
 		db.updateMu.RUnlock()
 		emitted, pulled := 0, 0
@@ -48,7 +48,7 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 			// (retrieved in Euclidean order but never surfaced in obstructed
 			// order) — not entities the caller's filter rejected.
 			st.FalseHits = st.Candidates - pulled
-			cfg.record(sess, st, start)
+			db.record(VerbNearestStream, &cfg, sess, st, start, it.Err())
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
 			db.updateMu.RLock()
@@ -103,7 +103,7 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 		}
 		db.updateMu.RLock()
 		gen := db.generation()
-		sess := db.engine.NewSession(ctx)
+		sess := db.newSession(ctx)
 		it, err := sess.ClosestPairIterator(s, t)
 		db.updateMu.RUnlock()
 		if err != nil {
@@ -115,7 +115,7 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 			st := it.Stats()
 			st.Results = emitted
 			st.FalseHits = st.Candidates - pulled
-			cfg.record(sess, st, start)
+			db.record(VerbClosestStream, &cfg, sess, st, start, it.Err())
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
 			db.updateMu.RLock()

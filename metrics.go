@@ -1,0 +1,382 @@
+package obstacles
+
+import (
+	"context"
+	"log/slog"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// HistogramSnapshot is a point-in-time copy of one latency or size
+// histogram: per-bucket counts, total count and sum. Quantile and Mean
+// derive summary statistics from it.
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// TraceSpan is one timed stage of a query lifecycle, as recorded by the
+// slow-query log.
+type TraceSpan = telemetry.Span
+
+// Query verbs as they appear in per-verb metrics (the `verb` label of
+// obstacles_queries_total and obstacles_query_seconds) and in the
+// Metrics().Queries map.
+const (
+	VerbRange              = "range"
+	VerbNearestNeighbors   = "nearest_neighbors"
+	VerbDistanceJoin       = "distance_join"
+	VerbClosestPairs       = "closest_pairs"
+	VerbObstructedDistance = "obstructed_distance"
+	VerbObstructedPath     = "obstructed_path"
+	VerbBatchDistances     = "batch_distances"
+	VerbDistanceMatrix     = "distance_matrix"
+	VerbNearestStream      = "nearest_stream"
+	VerbClosestStream      = "closest_stream"
+	VerbCluster            = "cluster"
+)
+
+// queryVerbs lists every verb label, in the order metrics are registered.
+var queryVerbs = []string{
+	VerbRange, VerbNearestNeighbors, VerbDistanceJoin, VerbClosestPairs,
+	VerbObstructedDistance, VerbObstructedPath, VerbBatchDistances,
+	VerbDistanceMatrix, VerbNearestStream, VerbClosestStream, VerbCluster,
+}
+
+// Mutation ops as they appear in obstacles_mutations_total and the
+// Metrics().Mutations map.
+const (
+	OpInsertPoints    = "insert_points"
+	OpDeletePoints    = "delete_points"
+	OpAddObstacles    = "add_obstacles"
+	OpRemoveObstacles = "remove_obstacles"
+	OpAddDataset      = "add_dataset"
+)
+
+var mutationOps = []string{
+	OpInsertPoints, OpDeletePoints, OpAddObstacles, OpRemoveObstacles, OpAddDataset,
+}
+
+// verbMetrics is the per-verb instrument set.
+type verbMetrics struct {
+	count   *telemetry.Counter
+	errors  *telemetry.Counter
+	seconds *telemetry.Histogram
+}
+
+// dbMetrics is one Database's telemetry: a registry of every instrument,
+// updated lock-free on the hot paths and scraped by the debug endpoint.
+// Created unconditionally (in-memory databases simply leave the durable
+// instruments at zero), so the commit path never nil-checks.
+type dbMetrics struct {
+	reg *telemetry.Registry
+
+	// Query path.
+	verbs            map[string]*verbMetrics
+	pageAccesses     *telemetry.Counter
+	settledNodes     *telemetry.Counter
+	graphBuilds      *telemetry.Counter
+	falseHits        *telemetry.Counter
+	candidates       *telemetry.Counter
+	results          *telemetry.Counter
+	distComputations *telemetry.Counter
+	slowQueries      *telemetry.Counter
+
+	// Mutation path.
+	mutations map[string]*telemetry.Counter
+
+	// Durable commit path (see persist.go). Stage is the time a mutator
+	// spends building its commit under the update lock; ack the time it
+	// spends parked on its ticket after unlocking; fsync the WAL fsync
+	// syscall itself (fed by the wal sync hook).
+	commits           *telemetry.Counter
+	fsyncs            *telemetry.Counter
+	groupCommits      *telemetry.Counter
+	checkpoints       *telemetry.Counter
+	commitFailures    *telemetry.Counter
+	stageSeconds      *telemetry.Histogram
+	ackSeconds        *telemetry.Histogram
+	fsyncSeconds      *telemetry.Histogram
+	batchSize         *telemetry.Histogram
+	checkpointSeconds *telemetry.Histogram
+}
+
+// newDBMetrics builds and registers the database's instrument set. Gauges
+// read from live subsystems at scrape time close over db; they tolerate a
+// nil db.store (in-memory databases report zeros).
+func newDBMetrics(db *Database) *dbMetrics {
+	reg := telemetry.NewRegistry()
+	m := &dbMetrics{
+		reg:   reg,
+		verbs: make(map[string]*verbMetrics, len(queryVerbs)),
+	}
+	for _, verb := range queryVerbs {
+		m.verbs[verb] = &verbMetrics{
+			count:   reg.Counter("obstacles_queries_total", "Queries served, by verb.", telemetry.L("verb", verb)),
+			errors:  reg.Counter("obstacles_query_errors_total", "Queries that returned an error (cancellation included), by verb.", telemetry.L("verb", verb)),
+			seconds: reg.Histogram("obstacles_query_seconds", "Query wall time in seconds, by verb.", telemetry.LatencyBuckets, telemetry.L("verb", verb)),
+		}
+	}
+	m.pageAccesses = reg.Counter("obstacles_query_page_accesses_total", "R-tree page reads that missed the LRU buffers, summed over all queries.")
+	m.settledNodes = reg.Counter("obstacles_query_settled_nodes_total", "Dijkstra-settled visibility-graph nodes, summed over all queries.")
+	m.graphBuilds = reg.Counter("obstacles_query_graph_builds_total", "Visibility-graph constructions, summed over all queries.")
+	m.falseHits = reg.Counter("obstacles_query_false_hits_total", "Euclidean candidates eliminated by the obstructed metric.")
+	m.candidates = reg.Counter("obstacles_query_candidates_total", "Euclidean candidates examined.")
+	m.results = reg.Counter("obstacles_query_results_total", "Qualifying answers produced by the engine.")
+	m.distComputations = reg.Counter("obstacles_query_dist_computations_total", "Obstructed-distance computations (Fig 8 of the paper).")
+	m.slowQueries = reg.Counter("obstacles_slow_queries_total", "Queries at or over Options.SlowQueryThreshold.")
+
+	m.mutations = make(map[string]*telemetry.Counter, len(mutationOps))
+	for _, op := range mutationOps {
+		m.mutations[op] = reg.Counter("obstacles_mutations_total", "Committed mutations, by op.", telemetry.L("op", op))
+	}
+
+	// Graph cache: the cache already maintains exact counters under its own
+	// lock, so expose them as read-at-scrape series instead of
+	// double-counting on the query path.
+	cache := func(get func(core.CacheStats) uint64) func() uint64 {
+		return func() uint64 { return get(db.engine.GraphCacheStats()) }
+	}
+	reg.CounterFunc("obstacles_graph_cache_hits_total", "Visibility-graph cache hits.", cache(func(cs core.CacheStats) uint64 { return cs.Hits }))
+	reg.CounterFunc("obstacles_graph_cache_misses_total", "Visibility-graph cache misses.", cache(func(cs core.CacheStats) uint64 { return cs.Misses }))
+	reg.CounterFunc("obstacles_graph_cache_evictions_total", "Visibility-graph cache LRU evictions.", cache(func(cs core.CacheStats) uint64 { return cs.Evictions }))
+	reg.CounterFunc("obstacles_graph_cache_invalidations_total", "Cached graphs dropped by obstacle updates.", cache(func(cs core.CacheStats) uint64 { return cs.Invalidations }))
+	reg.GaugeFunc("obstacles_graph_cache_hit_rate", "Hits over (hits+misses), 0 with no traffic.", func() float64 {
+		return db.engine.GraphCacheStats().HitRate()
+	})
+
+	// Durable commit path.
+	m.commits = reg.Counter("obstacles_commits_total", "Durable commits acknowledged.")
+	m.fsyncs = reg.Counter("obstacles_wal_fsyncs_total", "WAL fsyncs issued by the commit path.")
+	m.groupCommits = reg.Counter("obstacles_group_commits_total", "Fsyncs that covered two or more commits.")
+	m.checkpoints = reg.Counter("obstacles_checkpoints_total", "Completed checkpoints.")
+	m.commitFailures = reg.Counter("obstacles_commit_failures_total", "Commit batches that failed (the handle poisons on the first).")
+	m.stageSeconds = reg.Histogram("obstacles_commit_stage_seconds", "Time staging a commit under the update lock (buffer flush, dirty-page capture, delta encoding).", telemetry.LatencyBuckets)
+	m.ackSeconds = reg.Histogram("obstacles_commit_ack_seconds", "Time a mutator parks on its commit ticket, from unlock to durable acknowledgment.", telemetry.LatencyBuckets)
+	m.fsyncSeconds = reg.Histogram("obstacles_wal_fsync_seconds", "WAL fsync syscall latency.", telemetry.LatencyBuckets)
+	m.batchSize = reg.Histogram("obstacles_commit_batch_size", "Commits covered by one WAL fsync.", telemetry.SizeBuckets)
+	m.checkpointSeconds = reg.Histogram("obstacles_checkpoint_seconds", "Checkpoint duration (write-back, blob rewrite, superblock sync, WAL truncation).", telemetry.LatencyBuckets)
+	reg.GaugeFunc("obstacles_wal_bytes", "Durable write-ahead-log length in bytes (zero right after a checkpoint, and for in-memory databases).", func() float64 {
+		if s := db.store; s != nil {
+			return float64(s.log.Size())
+		}
+		return 0
+	})
+	reg.GaugeFunc("obstacles_file_pages", "Allocated pages in the data file.", func() float64 {
+		if s := db.store; s != nil {
+			return float64(s.fs.NumPages())
+		}
+		return 0
+	})
+	reg.GaugeFunc("obstacles_pending_pages", "Pages committed to the WAL but not yet written back.", func() float64 {
+		if s := db.store; s != nil {
+			db.updateMu.RLock()
+			defer db.updateMu.RUnlock()
+			return float64(s.tx.PendingPages())
+		}
+		return 0
+	})
+	reg.CounterFunc("obstacles_data_file_reads_total", "Physical page reads from the data file.", func() uint64 {
+		if s := db.store; s != nil {
+			return s.fs.IO().Reads
+		}
+		return 0
+	})
+	reg.CounterFunc("obstacles_data_file_writes_total", "Physical page writes to the data file.", func() uint64 {
+		if s := db.store; s != nil {
+			return s.fs.IO().Writes
+		}
+		return 0
+	})
+	reg.CounterFunc("obstacles_data_file_syncs_total", "Data-file fsyncs (checkpoint write-back and superblock).", func() uint64 {
+		if s := db.store; s != nil {
+			return s.fs.IO().Syncs
+		}
+		return 0
+	})
+	return m
+}
+
+// newSession starts a query session, attaching a lifecycle trace when the
+// slow-query log is enabled so an over-threshold query can be logged with
+// its full stage breakdown.
+func (db *Database) newSession(ctx context.Context) *core.Session {
+	sess := db.engine.NewSession(ctx)
+	if db.opts.SlowQueryThreshold > 0 {
+		sess.SetTrace(telemetry.NewTrace())
+	}
+	return sess
+}
+
+// record is the single exit point of every query verb: it fills the
+// caller's WithStats struct exactly as before, feeds the global telemetry
+// (per-verb count and latency, engine work counters), and routes
+// over-threshold queries to the slow-query log.
+func (db *Database) record(verb string, cfg *queryConfig, sess *core.Session, st core.Stats, start time.Time, err error) {
+	cfg.record(sess, st, start)
+	elapsed := time.Since(start)
+	m := db.tel
+	vm := m.verbs[verb]
+	vm.count.Inc()
+	if err != nil {
+		vm.errors.Inc()
+	}
+	vm.seconds.Observe(elapsed.Seconds())
+	met, io := sess.Work()
+	m.pageAccesses.Add(io.PhysicalReads)
+	m.settledNodes.Add(met.SettledNodes)
+	m.graphBuilds.Add(met.Builds)
+	if st.FalseHits > 0 {
+		m.falseHits.Add(uint64(st.FalseHits))
+	}
+	if st.Candidates > 0 {
+		m.candidates.Add(uint64(st.Candidates))
+	}
+	if st.Results > 0 {
+		m.results.Add(uint64(st.Results))
+	}
+	if st.DistComputations > 0 {
+		m.distComputations.Add(uint64(st.DistComputations))
+	}
+	if t := db.opts.SlowQueryThreshold; t > 0 && elapsed >= t {
+		m.slowQueries.Inc()
+		db.logSlowQuery(verb, sess, st, elapsed, err)
+	}
+}
+
+// countMutation is deferred first by every mutator (so it runs last, after
+// the commit is acknowledged) and counts the mutation once it has fully
+// succeeded.
+func (db *Database) countMutation(op string, errp *error) {
+	if *errp == nil {
+		db.tel.mutations[op].Inc()
+	}
+}
+
+// logSlowQuery emits one structured record for a query at or over
+// Options.SlowQueryThreshold: the verb, wall time, the work the query
+// performed, and the span trace of its lifecycle.
+func (db *Database) logSlowQuery(verb string, sess *core.Session, st core.Stats, elapsed time.Duration, err error) {
+	lg := db.opts.SlowQueryLogger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	met, io := sess.Work()
+	attrs := []slog.Attr{
+		slog.String("verb", verb),
+		slog.Duration("elapsed", elapsed),
+		slog.Duration("threshold", db.opts.SlowQueryThreshold),
+		slog.Uint64("page_accesses", io.PhysicalReads),
+		slog.Uint64("settled_nodes", met.SettledNodes),
+		slog.Uint64("graph_builds", met.Builds),
+		slog.Int("candidates", st.Candidates),
+		slog.Int("results", st.Results),
+		slog.Int("false_hits", st.FalseHits),
+		slog.String("trace", sess.Trace().String()),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	lg.LogAttrs(context.Background(), slog.LevelWarn, "obstacles: slow query", attrs...)
+}
+
+// VerbMetrics summarizes one query verb's traffic.
+type VerbMetrics struct {
+	// Count is queries served; Errors how many returned an error
+	// (cancellations included).
+	Count, Errors uint64
+	// Latency is the verb's wall-time histogram, in seconds.
+	Latency HistogramSnapshot
+}
+
+// CommitMetrics summarizes the durable commit path; the zero value for an
+// in-memory database.
+type CommitMetrics struct {
+	// Commits counts acknowledged durable commits; Fsyncs the WAL fsyncs
+	// that made them durable; GroupCommits the fsyncs covering two or more
+	// commits; Checkpoints completed checkpoints; Failures failed commit
+	// batches.
+	Commits, Fsyncs, GroupCommits, Checkpoints, Failures uint64
+	// StageSeconds is time staging a commit under the update lock;
+	// AckSeconds time parked from unlock to durable acknowledgment;
+	// FsyncSeconds the WAL fsync syscall; BatchSize the commits-per-fsync
+	// distribution; CheckpointSeconds checkpoint duration.
+	StageSeconds, AckSeconds, FsyncSeconds, BatchSize, CheckpointSeconds HistogramSnapshot
+	// WALBytes is the durable WAL length; FilePages and PendingPages the
+	// data file's allocation and not-yet-written-back page counts.
+	WALBytes int64
+	// FilePages and PendingPages mirror PersistStats.
+	FilePages, PendingPages int
+}
+
+// Metrics is a structured snapshot of the database's telemetry — the same
+// numbers the debug endpoint exposes, as one marshalable value.
+type Metrics struct {
+	// Queries has one entry per verb constant (VerbRange, ...), including
+	// verbs that have served nothing yet.
+	Queries map[string]VerbMetrics
+	// Engine-wide work counters, summed over every query since open.
+	PageAccesses, SettledNodes, GraphBuilds uint64
+	FalseHits, Candidates, Results          uint64
+	DistComputations                        uint64
+	// SlowQueries counts queries at or over Options.SlowQueryThreshold.
+	SlowQueries uint64
+	// Mutations has one entry per op constant (OpInsertPoints, ...),
+	// counting committed mutations.
+	Mutations map[string]uint64
+	// Cache is the visibility-graph cache's traffic.
+	Cache CacheStats
+	// Commit describes the durable commit path (zero value in memory).
+	Commit CommitMetrics
+}
+
+// Metrics returns a structured snapshot of the database's telemetry:
+// per-verb query counts and latency histograms, engine work totals, cache
+// traffic, and (for durable databases) the commit path's histograms and
+// counters. Unlike WithStats — which attributes work to one query — this is
+// the process-lifetime view, cheap enough to poll.
+func (db *Database) Metrics() Metrics {
+	m := db.tel
+	out := Metrics{
+		Queries:          make(map[string]VerbMetrics, len(queryVerbs)),
+		PageAccesses:     m.pageAccesses.Value(),
+		SettledNodes:     m.settledNodes.Value(),
+		GraphBuilds:      m.graphBuilds.Value(),
+		FalseHits:        m.falseHits.Value(),
+		Candidates:       m.candidates.Value(),
+		Results:          m.results.Value(),
+		DistComputations: m.distComputations.Value(),
+		SlowQueries:      m.slowQueries.Value(),
+		Mutations:        make(map[string]uint64, len(mutationOps)),
+		Cache:            db.GraphCacheStats(),
+	}
+	for _, verb := range queryVerbs {
+		vm := m.verbs[verb]
+		out.Queries[verb] = VerbMetrics{
+			Count:   vm.count.Value(),
+			Errors:  vm.errors.Value(),
+			Latency: vm.seconds.Snapshot(),
+		}
+	}
+	for _, op := range mutationOps {
+		out.Mutations[op] = m.mutations[op].Value()
+	}
+	out.Commit = CommitMetrics{
+		Commits:           m.commits.Value(),
+		Fsyncs:            m.fsyncs.Value(),
+		GroupCommits:      m.groupCommits.Value(),
+		Checkpoints:       m.checkpoints.Value(),
+		Failures:          m.commitFailures.Value(),
+		StageSeconds:      m.stageSeconds.Snapshot(),
+		AckSeconds:        m.ackSeconds.Snapshot(),
+		FsyncSeconds:      m.fsyncSeconds.Snapshot(),
+		BatchSize:         m.batchSize.Snapshot(),
+		CheckpointSeconds: m.checkpointSeconds.Snapshot(),
+	}
+	if s := db.store; s != nil {
+		ps := db.PersistStats()
+		out.Commit.WALBytes = ps.WALBytes
+		out.Commit.FilePages = ps.FilePages
+		out.Commit.PendingPages = ps.PendingPages
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -63,6 +64,24 @@ type Options struct {
 	// commits rarely overlap an fsync); negative selects fsync-per-commit
 	// legacy mode. Ignored by in-memory databases.
 	GroupCommitMaxDelay time.Duration
+	// DebugAddr, when non-empty, starts an HTTP debug listener on the
+	// address (e.g. "localhost:6060") for the database's lifetime. It
+	// serves the full telemetry registry in the Prometheus text exposition
+	// format at /metrics, the same numbers as JSON at /debug/vars, and the
+	// standard pprof profiles under /debug/pprof/. The listener stops at
+	// Close. "host:0" picks a free port; DebugAddr() reports the bound
+	// address.
+	DebugAddr string
+	// SlowQueryThreshold, when positive, enables the slow-query log: every
+	// query verb whose wall time reaches the threshold is recorded through
+	// SlowQueryLogger with its verb, timing, work counters and a span
+	// trace of its lifecycle (graph builds, obstacle scans). Tracing is
+	// only attached to sessions when the threshold is set, so the query
+	// hot path is unaffected while disabled.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogger receives slow-query records; nil selects
+	// slog.Default().
+	SlowQueryLogger *slog.Logger
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -193,6 +212,12 @@ type Database struct {
 	// NewDatabase). When set, every mutator commits through the write-ahead
 	// log before returning; see Open.
 	store *durableStore
+
+	// tel is the database's telemetry (see metrics.go), created with the
+	// handle; debug is the HTTP debug listener, nil unless
+	// Options.DebugAddr is set.
+	tel   *dbMetrics
+	debug *debugServer
 }
 
 // ErrInvalidPolygon is the typed error wrapped by AddObstacles and
@@ -238,12 +263,17 @@ func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
 	if opts.GraphCacheSize > 0 {
 		eng.EnableGraphCache(opts.GraphCacheSize)
 	}
-	return &Database{
+	db := &Database{
 		opts:     opts,
 		engine:   eng,
 		obstSet:  obstSet,
 		datasets: make(map[string]*core.PointSet),
-	}, nil
+	}
+	db.tel = newDBMetrics(db)
+	if err := db.startDebug(); err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // NewDatabaseFromRects builds a database with rectangular obstacles, the
@@ -287,7 +317,8 @@ func (db *Database) treeOptions() rtree.Options {
 // completes; queries on other datasets proceed concurrently. A durable
 // database (Open) instead serializes the build with queries, so the pages
 // it allocates commit atomically with the catalog record that names them.
-func (db *Database) AddDataset(name string, pts []Point) error {
+func (db *Database) AddDataset(name string, pts []Point) (err error) {
+	defer db.countMutation(OpAddDataset, &err)
 	db.mu.RLock()
 	_, exists := db.datasets[name]
 	db.mu.RUnlock()
@@ -421,7 +452,8 @@ func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err er
 	}
 	db.updateMu.Lock()
 	var tk *commitTicket
-	defer db.awaitCommit(&err, &tk) // runs after the unlock: parks on the shared fsync
+	defer db.countMutation(OpInsertPoints, &err) // declared first: counts after the commit resolves
+	defer db.awaitCommit(&err, &tk)              // runs after the unlock: parks on the shared fsync
 	defer db.updateMu.Unlock()
 	defer db.stageCommit(&err, &tk, false)
 	defer db.gen.Add(1)
@@ -448,6 +480,7 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 	}
 	db.updateMu.Lock()
 	var tk *commitTicket
+	defer db.countMutation(OpDeletePoints, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	seen := make(map[int64]bool, len(ids))
@@ -489,6 +522,7 @@ func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 	}
 	db.updateMu.Lock()
 	var tk *commitTicket
+	defer db.countMutation(OpAddObstacles, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	defer db.stageCommit(&err, &tk, true)
@@ -529,6 +563,7 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 	}
 	db.updateMu.Lock()
 	var tk *commitTicket
+	defer db.countMutation(OpRemoveObstacles, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	seen := make(map[int64]bool, len(ids))
@@ -579,9 +614,9 @@ func (db *Database) Range(ctx context.Context, dataset string, q Point, radius f
 	}
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	res, st, err := sess.Range(ps, q, radius)
-	cfg.record(sess, st, start)
+	db.record(VerbRange, &cfg, sess, st, start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -604,10 +639,10 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	}
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	if cfg.filter == nil {
 		res, st, err := sess.NearestNeighbors(ps, q, k)
-		cfg.record(sess, st, start)
+		db.record(VerbNearestNeighbors, &cfg, sess, st, start, err)
 		if err != nil {
 			return nil, err
 		}
@@ -621,7 +656,7 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	if inside, err := sess.InsideObstacle(q); err != nil {
 		return nil, err
 	} else if inside {
-		cfg.record(sess, core.Stats{Candidates: 0}, start)
+		db.record(VerbNearestNeighbors, &cfg, sess, core.Stats{Candidates: 0}, start, nil)
 		return nil, nil
 	}
 	it := sess.NearestIterator(ps, q)
@@ -644,7 +679,7 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 	// in Euclidean order but never surfaced in obstructed order); entities
 	// the caller's filter rejected are true hits and must not count.
 	st.FalseHits = st.Candidates - pulled
-	cfg.record(sess, st, start)
+	db.record(VerbNearestNeighbors, &cfg, sess, st, start, it.Err())
 	if err := it.Err(); err != nil {
 		return nil, err
 	}
@@ -667,9 +702,9 @@ func (db *Database) DistanceJoin(ctx context.Context, dataset1, dataset2 string,
 	}
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	res, st, err := sess.DistanceJoin(s, t, dist)
-	cfg.record(sess, st, start)
+	db.record(VerbDistanceJoin, &cfg, sess, st, start, err)
 	if err != nil {
 		return nil, err
 	}
@@ -696,10 +731,10 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 	}
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	if cfg.pairFilter == nil {
 		res, st, err := sess.ClosestPairs(s, t, k)
-		cfg.record(sess, st, start)
+		db.record(VerbClosestPairs, &cfg, sess, st, start, err)
 		if err != nil {
 			return nil, err
 		}
@@ -727,7 +762,7 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 	// As in the filtered kNN path: filter-rejected pairs are true hits, not
 	// false hits; only candidates eliminated by obstructed distance count.
 	st.FalseHits = st.Candidates - pulled
-	cfg.record(sess, st, start)
+	db.record(VerbClosestPairs, &cfg, sess, st, start, it.Err())
 	if err := it.Err(); err != nil {
 		return nil, err
 	}
@@ -741,9 +776,9 @@ func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...
 	start := time.Now()
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	d, st, err := sess.ObstructedDistance(a, b)
-	cfg.record(sess, st, start)
+	db.record(VerbObstructedDistance, &cfg, sess, st, start, err)
 	return d, err
 }
 
@@ -756,9 +791,9 @@ func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...Quer
 	start := time.Now()
 	db.updateMu.RLock()
 	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(ctx)
+	sess := db.newSession(ctx)
 	path, d, st, err := sess.ObstructedPath(a, b)
-	cfg.record(sess, st, start)
+	db.record(VerbObstructedPath, &cfg, sess, st, start, err)
 	return path, d, err
 }
 

@@ -84,6 +84,9 @@ type durableStore struct {
 	st   pagefile.Storage // fs, possibly fault-wrapped by tests
 	tx   *pagefile.TxStorage
 	log  *wal.Log
+	// tel is the owning Database's telemetry (set right after construction,
+	// before any commit or checkpoint can run).
+	tel *dbMetrics
 
 	// Commit-pipeline configuration, immutable after Open.
 	maxBatch       int
@@ -348,6 +351,7 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		obstSet:  obstSet,
 		datasets: make(map[string]*core.PointSet),
 	}
+	db.tel = newDBMetrics(db)
 	db.gen.Store(state.Generation)
 	for _, ds := range state.Datasets {
 		tree, err := rtree.Attach(topts, ds.Tree.Root, ds.Tree.Height, ds.Tree.Size)
@@ -383,6 +387,11 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		leaderTok:      make(chan struct{}, 1),
 	}
 	db.store.durableSeq = seq
+	db.store.tel = db.tel
+	// The WAL reports every commit-path fsync's syscall latency straight
+	// into the histogram (checkpoint truncation is not hooked: Reset syncs
+	// directly and is accounted under checkpoint duration).
+	log.SetSyncHook(db.tel.fsyncSeconds.ObserveDuration)
 	if db.store.legacy {
 		db.store.maxBatch = 1
 		db.store.maxDelay = 0
@@ -398,6 +407,9 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		if err != nil {
 			return fail(err)
 		}
+	}
+	if err := db.startDebug(); err != nil {
+		return fail(err)
 	}
 	return db, nil
 }
@@ -453,6 +465,7 @@ func (db *Database) Checkpoint() error {
 // is a no-op on an in-memory database. After Close, mutators fail with
 // ErrDatabaseClosed and query behavior is undefined.
 func (db *Database) Close() error {
+	db.stopDebug()
 	s := db.store
 	if s == nil {
 		return nil
@@ -511,7 +524,10 @@ func (db *Database) awaitCommit(errp *error, tkp **commitTicket) {
 	if db.store == nil || *tkp == nil {
 		return
 	}
-	if err := db.store.awaitTicket(*tkp); err != nil {
+	start := time.Now()
+	err := db.store.awaitTicket(*tkp)
+	db.tel.ackSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
 		if *errp == nil {
 			*errp = err
 		}
@@ -538,6 +554,7 @@ func (db *Database) stageCommitLocked(obstChanged bool) (*commitTicket, error) {
 	if err := s.brokenErr(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
 	}
+	stageStart := time.Now()
 	if err := db.flushTreeBuffers(); err != nil {
 		s.poison(err)
 		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
@@ -564,6 +581,7 @@ func (db *Database) stageCommitLocked(obstChanged bool) (*commitTicket, error) {
 		tx:   wal.BatchTx{Seq: s.seq, Pages: pages, Delta: catalog.EncodeDelta(delta)},
 		done: make(chan struct{}),
 	}
+	s.tel.stageSeconds.ObserveDuration(time.Since(stageStart))
 	if s.legacy {
 		s.writeBatch([]*commitTicket{tk})
 		if tk.err == nil && s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
@@ -756,6 +774,16 @@ func (s *durableStore) writeBatch(batch []*commitTicket) {
 		s.fsyncEWMA.Store((3*s.fsyncEWMA.Load() + cost) / 4)
 	}
 	s.lastBatch.Store(int64(len(batch)))
+	if err == nil {
+		s.tel.commits.Add(uint64(len(batch)))
+		s.tel.fsyncs.Inc()
+		if len(batch) > 1 {
+			s.tel.groupCommits.Inc()
+		}
+		s.tel.batchSize.Observe(float64(len(batch)))
+	} else {
+		s.tel.commitFailures.Inc()
+	}
 	s.cmu.Lock()
 	if err == nil {
 		s.commits += uint64(len(batch))
@@ -849,6 +877,7 @@ func (db *Database) checkpointLocked() error {
 	if s.closed {
 		return ErrDatabaseClosed
 	}
+	ckptStart := time.Now()
 	db.flushCommitsLocked()
 	if err := s.brokenErr(); err != nil {
 		return fmt.Errorf("%w: %v", ErrNeedsReopen, err)
@@ -986,6 +1015,8 @@ func (db *Database) checkpointLocked() error {
 	s.logged = make(map[pagefile.PageID]struct{})
 	s.checkpoints++
 	s.lastCheckpointErr = nil
+	s.tel.checkpoints.Inc()
+	s.tel.checkpointSeconds.ObserveDuration(time.Since(ckptStart))
 	return nil
 }
 
