@@ -30,6 +30,10 @@
 //
 //	obschurn -db /tmp/churn.obs -workers 4 -ops 2000
 //	obschurn -db /tmp/churn.obs -workers 4 -ops 2000 -legacy   # fsync per commit
+//
+// -debug-addr serves the database's observability endpoints — /metrics
+// (Prometheus text), /debug/vars, /debug/pprof/ — on the given address for
+// the run's duration, so a scraper can watch the churn live.
 package main
 
 import (

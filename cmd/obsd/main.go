@@ -1,0 +1,138 @@
+// Command obsd serves an obstacles database over HTTP/JSON: every query
+// verb (range, nearest, join, closest-pairs, distance, path,
+// distance-matrix, cluster) and every mutation verb (insert/delete points,
+// add/remove obstacles, create dataset) on multi-tenant dataset
+// namespaces, with per-request deadlines, admission control, request
+// coalescing, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	obsd -db city.obs -addr localhost:8080
+//	obsd -obstacles 1000 -entities 2000 -seed 1 -addr localhost:8080
+//
+// With -db the daemon opens a durable file (created with obsstore create)
+// and every mutation commits through its WAL; SIGTERM drains in-flight
+// requests and closes the file cleanly. Without -db it serves a generated
+// in-memory street world — handy for benchmarks and demos.
+//
+// The API listener also exposes the database's observability endpoints —
+// /metrics (Prometheus text, engine obstacles_* series and daemon obsd_*
+// series in one registry), /debug/vars, /debug/pprof/ — so one scrape
+// target covers the whole process. GET /healthz reports "ok" or
+// "draining"; GET /v1/datasets lists the namespaces. Both bypass admission
+// control, so they answer even when the daemon is saturated.
+//
+// Request deadlines: clients append ?timeout=750ms (any Go duration) to a
+// verb URL; the deadline is clamped to -max-timeout and propagated into
+// the engine, and an expired deadline returns the structured error
+// {"error":{"code":"deadline_exceeded",...}} with status 504.
+//
+// Overload: at most -max-in-flight requests execute at once and
+// -max-queued more wait; beyond that the daemon sheds load immediately
+// with {"error":{"code":"overloaded",...}}, status 429, and a Retry-After
+// header. During shutdown new requests get code "draining" and 503.
+//
+// Coalescing: concurrent /v1/distance requests whose sources fall in the
+// same -coalesce-cell grid cell are answered in batches of up to
+// -coalesce-batch by an elected leader over one shared visibility graph;
+// identical concurrent /v1/datasets/{ds}/nearest requests share one
+// execution. -no-coalesce turns both off.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	obstacles "repro"
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "", "durable database file (obsstore create); empty serves a generated in-memory world")
+		addr   = flag.String("addr", "localhost:8080", "listen address (host:0 picks a free port)")
+
+		nObst = flag.Int("obstacles", 1000, "generated obstacle count (in-memory mode)")
+		nEnts = flag.Int("entities", 2000, "generated entity count (in-memory mode)")
+		seed  = flag.Int64("seed", 1, "generator seed (in-memory mode)")
+		name  = flag.String("dataset", "P", "dataset name for generated entities (in-memory mode)")
+
+		maxInFlight = flag.Int("max-in-flight", 64, "concurrently executing requests before arrivals queue")
+		maxQueued   = flag.Int("max-queued", 0, "queued requests before arrivals are shed with 429 (0 = 4x max-in-flight)")
+		defTimeout  = flag.Duration("default-timeout", 30*time.Second, "deadline for requests without ?timeout=")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "upper clamp on ?timeout=")
+
+		coalesceCell  = flag.Float64("coalesce-cell", 512, "coalescer region cell side length")
+		coalesceBatch = flag.Int("coalesce-batch", 16, "max requests one coalesced batch answers")
+		noCoalesce    = flag.Bool("no-coalesce", false, "disable request coalescing")
+
+		graphCache   = flag.Int("graph-cache", 0, "visibility-graph cache entries (0 = engine default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *addr, *nObst, *nEnts, *seed, *name,
+		server.Config{
+			MaxInFlight: *maxInFlight, MaxQueued: *maxQueued,
+			DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
+			CoalesceCell: *coalesceCell, CoalesceMaxBatch: *coalesceBatch,
+			DisableCoalesce: *noCoalesce,
+		}, *graphCache, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "obsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, addr string, nObst, nEnts int, seed int64, name string,
+	cfg server.Config, graphCache int, drainTimeout time.Duration) error {
+	opts := obstacles.Options{GraphCacheSize: graphCache}
+	var (
+		db  *obstacles.Database
+		err error
+	)
+	if dbPath != "" {
+		db, err = obstacles.Open(dbPath, opts)
+		if err != nil {
+			return err
+		}
+		log.Printf("opened %s: %d obstacles, datasets %v", dbPath, db.NumObstacles(), db.Datasets())
+	} else {
+		world := dataset.Generate(dataset.DefaultConfig(seed, nObst))
+		db, err = obstacles.NewDatabaseFromRects(world.Rects, opts)
+		if err != nil {
+			return err
+		}
+		if err := db.AddDataset(name, world.Entities(world.EntityRand(1), nEnts)); err != nil {
+			db.Close()
+			return err
+		}
+		log.Printf("generated world seed %d: %d obstacles, %d entities in dataset %q",
+			seed, nObst, nEnts, name)
+	}
+
+	srv := server.New(db, cfg)
+	if err := srv.Start(addr); err != nil {
+		db.Close()
+		return err
+	}
+	log.Printf("serving on http://%s (metrics at /metrics, health at /healthz)", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%s: draining (max %s)", got, drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained and closed")
+	return nil
+}

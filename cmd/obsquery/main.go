@@ -14,7 +14,10 @@
 // additionally need a second point file via -entities2. -timeout bounds the
 // whole query via context cancellation; -parallel N runs the query
 // concurrently from N goroutines over the shared database (the per-query
-// stats then demonstrate per-goroutine work attribution).
+// stats then demonstrate per-goroutine work attribution). -debug-addr
+// serves the database's observability endpoints — /metrics (Prometheus
+// text), /debug/vars, /debug/pprof/ — on the given address for the run's
+// duration.
 package main
 
 import (

@@ -22,18 +22,13 @@ type debugServer struct {
 	done chan struct{} // closed once Serve has returned
 }
 
-// startDebug binds and serves the debug listener when Options.DebugAddr is
-// set; a bind failure fails the open (a debug address that silently does
-// nothing is worse than an error).
-func (db *Database) startDebug() error {
-	addr := db.opts.DebugAddr
-	if addr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("obstacles: debug listener on %s: %w", addr, err)
-	}
+// debugMux builds the observability mux: /metrics (Prometheus text),
+// /debug/vars (JSON snapshot), /debug/pprof/*, and a plain-text index at /.
+// It is the one mux behind both the standalone debug listener
+// (Options.DebugAddr) and the network daemon's shared endpoint
+// (internal/server mounts the same routes next to the query API via
+// DebugHandler).
+func (db *Database) debugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", db.tel.reg.Handler())
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
@@ -58,6 +53,31 @@ func (db *Database) startDebug() error {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "obstacles debug listener\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
+	return mux
+}
+
+// DebugHandler returns the database's observability endpoint as a plain
+// http.Handler — /metrics, /debug/vars and /debug/pprof/ exactly as the
+// Options.DebugAddr listener serves them — so servers embedding a Database
+// (cmd/obsd) can mount the same routes on their own listener without a
+// second registry or port.
+func (db *Database) DebugHandler() http.Handler {
+	return db.debugMux()
+}
+
+// startDebug binds and serves the debug listener when Options.DebugAddr is
+// set; a bind failure fails the open (a debug address that silently does
+// nothing is worse than an error).
+func (db *Database) startDebug() error {
+	addr := db.opts.DebugAddr
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obstacles: debug listener on %s: %w", addr, err)
+	}
+	mux := db.debugMux()
 	d := &debugServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},

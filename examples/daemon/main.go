@@ -1,0 +1,126 @@
+// Example daemon: the database as a network service.
+//
+// A city's routing team runs one obsd daemon over a durable map file and
+// points every product at it over HTTP/JSON. This example boots the same
+// server in-process against a fresh durable file, then plays two clients:
+// a query client asking for nearest vans and obstructed distances, and a
+// mutation client committing a road closure mid-traffic — after which the
+// query client's answers change, durably. It finishes by demonstrating the
+// structured deadline error (a query whose ?timeout= expires answers
+// {"error":{"code":"deadline_exceeded",...}} with status 504) and a
+// graceful shutdown that drains in-flight requests before closing the
+// file.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	obstacles "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "obstacles-daemon-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- the operator: create a durable world and serve it -------------
+	db, err := obstacles.Open(filepath.Join(dir, "city.obs"), obstacles.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.AddObstacleRects(
+		obstacles.R(20, 0, 30, 60), // the river
+		obstacles.R(50, 40, 90, 50),
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddDataset("vans", []obstacles.Point{
+		obstacles.Pt(10, 10), obstacles.Pt(40, 80), obstacles.Pt(95, 20), obstacles.Pt(75, 60),
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(db, server.Config{})
+	if err := srv.Start("localhost:0"); err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	fmt.Printf("obsd serving a durable file on %s\n\n", base)
+
+	// --- client 1: queries ---------------------------------------------
+	var nbs struct {
+		Neighbors []struct {
+			ID   int64      `json:"id"`
+			Pt   [2]float64 `json:"point"`
+			Dist float64    `json:"dist"`
+		} `json:"neighbors"`
+	}
+	post(base+"/v1/datasets/vans/nearest", `{"q":[5,50],"k":2}`, &nbs)
+	fmt.Println("dispatcher at (5,50) asks for the two nearest vans:")
+	for _, n := range nbs.Neighbors {
+		fmt.Printf("  van %d at (%g,%g), %.1f around the river\n", n.ID, n.Pt[0], n.Pt[1], n.Dist)
+	}
+
+	var dist struct {
+		Dist json.RawMessage `json:"dist"`
+	}
+	post(base+"/v1/distance", `{"a":[5,50],"b":[10,10]}`, &dist)
+	fmt.Printf("obstructed distance (5,50)->(10,10): %s\n\n", dist.Dist)
+
+	// --- client 2: a mutation, committed through the daemon ------------
+	var added struct {
+		IDs []int64 `json:"ids"`
+	}
+	post(base+"/v1/obstacles", `{"rects":[[0,30,15,35]]}`, &added)
+	fmt.Printf("road closure committed as obstacle %v (durable before the response)\n", added.IDs)
+
+	post(base+"/v1/distance", `{"a":[5,50],"b":[10,10]}`, &dist)
+	fmt.Printf("the same route after the closure: %s\n\n", dist.Dist)
+
+	// --- the deadline contract -----------------------------------------
+	resp, err := http.Post(base+"/v1/datasets/vans/cluster?timeout=1ns",
+		"application/json", bytes.NewReader([]byte(`{"eps":40,"minpts":2}`)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("a query with ?timeout=1ns answers %d: %s\n", resp.StatusCode, bytes.TrimSpace(body))
+
+	// --- graceful shutdown ---------------------------------------------
+	// Drain in-flight requests, then close the file — the shutdown path a
+	// SIGTERM takes in cmd/obsd.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndrained and closed; the closure survives in city.obs")
+}
+
+func post(url, body string, v any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		log.Fatalf("POST %s: bad response %s: %v", url, raw, err)
+	}
+}

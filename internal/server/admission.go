@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission-control errors, mapped to wire codes by the handler wrapper.
+var (
+	// errOverloaded: MaxInFlight requests are executing and MaxQueued more
+	// are already waiting — shed this one immediately (429).
+	errOverloaded = errors.New("server: admission queue full")
+	// errDraining: the server is shutting down (503).
+	errDraining = errors.New("server: draining, not accepting requests")
+)
+
+// gate is the admission controller: at most maxInFlight requests execute at
+// once, at most maxQueued more wait for a slot, and everything beyond that
+// is shed with errOverloaded. Draining flips the gate shut — new arrivals
+// and queued waiters get errDraining — and awaitIdle then waits for every
+// admitted request to finish by collecting all the slot tokens, the same
+// trick the durable committer uses to know its queue has quiesced.
+type gate struct {
+	slots  chan struct{} // capacity maxInFlight; a token is a right to run
+	queued atomic.Int64
+	maxQ   int64
+
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when draining starts; wakes queued waiters
+}
+
+func newGate(maxInFlight, maxQueued int) *gate {
+	g := &gate{
+		slots:   make(chan struct{}, maxInFlight),
+		maxQ:    int64(maxQueued),
+		drainCh: make(chan struct{}),
+	}
+	for i := 0; i < maxInFlight; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// acquire admits one request or reports why it cannot: errDraining once
+// shutdown began, errOverloaded when the wait queue is full, or the
+// request context's error when its deadline expired while queued. On nil
+// return the caller must release().
+func (g *gate) acquire(ctx context.Context) error {
+	if g.draining.Load() {
+		return errDraining
+	}
+	select {
+	case <-g.slots:
+	default:
+		// All slots busy: wait in the bounded queue.
+		if g.queued.Add(1) > g.maxQ {
+			g.queued.Add(-1)
+			return errOverloaded
+		}
+		defer g.queued.Add(-1)
+		select {
+		case <-g.slots:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-g.drainCh:
+			return errDraining
+		}
+	}
+	// Shutdown may have started between the fast-path check and the token
+	// grab; hand the token straight back so awaitIdle's count stays exact.
+	if g.draining.Load() {
+		g.slots <- struct{}{}
+		return errDraining
+	}
+	return nil
+}
+
+// release returns the caller's slot.
+func (g *gate) release() { g.slots <- struct{}{} }
+
+// inFlight reports how many admitted requests are currently executing.
+func (g *gate) inFlight() int { return cap(g.slots) - len(g.slots) }
+
+// startDrain shuts the gate: subsequent acquires (and queued waiters) fail
+// with errDraining. Idempotent.
+func (g *gate) startDrain() {
+	if g.draining.CompareAndSwap(false, true) {
+		close(g.drainCh)
+	}
+}
+
+// awaitIdle blocks until every admitted request has released its slot (the
+// gate must be draining, so no new request can take one), or until ctx
+// expires. Collected tokens are deliberately not returned: the gate is
+// shut for good.
+func (g *gate) awaitIdle(ctx context.Context) error {
+	for i := 0; i < cap(g.slots); i++ {
+		select {
+		case <-g.slots:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	obstacles "repro"
+)
+
+// The read-side coalescer. Concurrent ObstructedDistance requests whose
+// source points fall in the same region cell park on a ticket; a leader —
+// elected among the parked requests themselves, exactly like the durable
+// write path's group committer — drains the cell's queue and answers the
+// whole batch with one ObstructedDistances call per distinct source. The
+// batch engine acquires one cached visibility graph for the region and
+// settles every target on it, so N concurrent same-region requests cost
+// one graph build (plus cache hits) instead of N independent builds —
+// BatchDistances amortizing seeds, applied across requests instead of
+// across targets.
+//
+// NearestNeighbors requests coalesce by identity: requests with the same
+// (dataset, query point, k) share one execution, the followers riding the
+// leader's result.
+//
+// Deadlines stay per-request: a leader executes under its own request
+// context, and a rider whose leader died of cancellation or deadline —
+// while the rider itself is still live — falls back to computing its own
+// answer directly, so one short-deadline leader can never fail a
+// long-deadline rider.
+
+// distTicket is one parked distance request.
+type distTicket struct {
+	source, target obstacles.Point
+	done           chan struct{} // closed once dist/err are set
+	dist           float64
+	err            error
+	rode           bool // answered by a batch another request led
+}
+
+// cellKey identifies one coalescing region: the grid cell of the source
+// point.
+type cellKey struct{ x, y int64 }
+
+// bucket is one cell's queue plus its leader-election token.
+type bucket struct {
+	queue []*distTicket
+	// leaderTok is a one-slot semaphore: the parked request that sends
+	// into it becomes the cell's leader and drains the queue.
+	leaderTok chan struct{}
+}
+
+// coalescer groups concurrent distance requests by region and
+// NearestNeighbors requests by identity.
+type coalescer struct {
+	db       *obstacles.Database
+	cell     float64 // region cell side length
+	maxBatch int     // max tickets one leader drains
+
+	mu      sync.Mutex
+	buckets map[cellKey]*bucket
+	nn      map[nnKey]*nnCall
+
+	met *serverMetrics
+}
+
+func newCoalescer(db *obstacles.Database, cell float64, maxBatch int, met *serverMetrics) *coalescer {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &coalescer{
+		db:       db,
+		cell:     cell,
+		maxBatch: maxBatch,
+		buckets:  make(map[cellKey]*bucket),
+		nn:       make(map[nnKey]*nnCall),
+		met:      met,
+	}
+}
+
+func (c *coalescer) key(p obstacles.Point) cellKey {
+	return cellKey{int64(math.Floor(p.X / c.cell)), int64(math.Floor(p.Y / c.cell))}
+}
+
+// Distance answers dO(a, b) through the coalescer. The second return
+// reports whether the answer rode a batch another request led.
+func (c *coalescer) Distance(ctx context.Context, a, b obstacles.Point) (float64, bool, error) {
+	tk := &distTicket{source: a, target: b, done: make(chan struct{})}
+	key := c.key(a)
+	c.mu.Lock()
+	bk := c.buckets[key]
+	if bk == nil {
+		bk = &bucket{leaderTok: make(chan struct{}, 1)}
+		c.buckets[key] = bk
+	}
+	bk.queue = append(bk.queue, tk)
+	c.mu.Unlock()
+
+	for {
+		select {
+		case <-tk.done:
+			return c.settle(ctx, tk)
+		case <-ctx.Done():
+			// Abandon the ticket; a leader may still fill it, but nobody
+			// is listening.
+			return 0, false, ctx.Err()
+		case bk.leaderTok <- struct{}{}:
+			c.lead(ctx, key, bk)
+			<-bk.leaderTok
+			// The leader's own ticket is usually served by its own batch;
+			// when the queue ran deeper than maxBatch it may still be
+			// parked, so loop and wait (or lead again).
+			select {
+			case <-tk.done:
+				return c.settle(ctx, tk)
+			default:
+			}
+		}
+	}
+}
+
+// settle converts a filled ticket into the caller's answer. A rider whose
+// leader failed with a context error — the leader's deadline, not ours —
+// recomputes directly under its own context.
+func (c *coalescer) settle(ctx context.Context, tk *distTicket) (float64, bool, error) {
+	if tk.err != nil && ctx.Err() == nil &&
+		(tk.err == context.Canceled || tk.err == context.DeadlineExceeded) {
+		c.met.coalesceFallbacks.Inc()
+		d, err := c.db.ObstructedDistance(ctx, tk.source, tk.target)
+		return d, false, err
+	}
+	if tk.rode {
+		c.met.coalesceHits.Inc()
+	}
+	return tk.dist, tk.rode, tk.err
+}
+
+// lead drains up to maxBatch tickets from the cell and answers them. The
+// caller holds the bucket's leader token.
+func (c *coalescer) lead(ctx context.Context, key cellKey, bk *bucket) {
+	// Absorb stragglers: concurrent requests headed for this cell are
+	// usually a few scheduler slices away. Gosched (not a timer) hands the
+	// CPU to exactly those goroutines; the window closes as soon as the
+	// queue quiesces, so a lone request never waits.
+	idle, last := 0, -1
+	for idle < 2 {
+		c.mu.Lock()
+		n := len(bk.queue)
+		c.mu.Unlock()
+		if n >= c.maxBatch {
+			break
+		}
+		if n == last {
+			idle++
+		} else {
+			idle, last = 0, n
+		}
+		runtime.Gosched()
+	}
+
+	c.mu.Lock()
+	n := len(bk.queue)
+	if n > c.maxBatch {
+		n = c.maxBatch
+	}
+	batch := make([]*distTicket, n)
+	copy(batch, bk.queue[:n])
+	bk.queue = append(bk.queue[:0], bk.queue[n:]...)
+	if len(bk.queue) == 0 && c.buckets[key] == bk {
+		// Quiesced cell: drop the bucket so the map stays bounded by the
+		// regions with in-flight traffic, not every cell ever touched.
+		delete(c.buckets, key)
+	}
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+
+	c.met.coalesceBatches.Inc()
+	c.met.coalesceBatchSize.Observe(float64(len(batch)))
+
+	// One ObstructedDistances call per distinct source: the whole group
+	// settles on one cached graph acquisition. Group order follows the
+	// batch, so results are deterministic per group.
+	groups := make(map[obstacles.Point][]*distTicket)
+	var order []obstacles.Point
+	for _, tk := range batch {
+		if _, ok := groups[tk.source]; !ok {
+			order = append(order, tk.source)
+		}
+		groups[tk.source] = append(groups[tk.source], tk)
+	}
+	for _, src := range order {
+		g := groups[src]
+		targets := make([]obstacles.Point, len(g))
+		for i, tk := range g {
+			targets[i] = tk.target
+		}
+		dists, err := c.db.ObstructedDistances(ctx, src, targets)
+		for i, tk := range g {
+			if err != nil {
+				tk.err = err
+			} else {
+				tk.dist = dists[i]
+			}
+			tk.rode = len(batch) > 1
+			close(tk.done)
+		}
+	}
+}
+
+// testHookNNLeader and testHookNNRider, when set, run in a kNN
+// singleflight leader after it registers its call (before executing) and
+// in a rider before it parks on the leader's result. Tests use them to
+// stage deterministic overlap.
+var (
+	testHookNNLeader func()
+	testHookNNRider  func()
+)
+
+// nnKey identifies one NearestNeighbors request exactly.
+type nnKey struct {
+	dataset string
+	q       obstacles.Point
+	k       int
+}
+
+// nnCall is one in-flight NearestNeighbors execution riders can share.
+type nnCall struct {
+	done chan struct{}
+	res  []obstacles.Neighbor
+	err  error
+}
+
+// Nearest answers a kNN query through the identity singleflight. The
+// shared result slice is read-only for every rider.
+func (c *coalescer) Nearest(ctx context.Context, dataset string, q obstacles.Point, k int) ([]obstacles.Neighbor, bool, error) {
+	key := nnKey{dataset, q, k}
+	c.mu.Lock()
+	if call, ok := c.nn[key]; ok {
+		c.mu.Unlock()
+		if testHookNNRider != nil {
+			testHookNNRider()
+		}
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if call.err != nil && ctx.Err() == nil &&
+			(call.err == context.Canceled || call.err == context.DeadlineExceeded) {
+			c.met.coalesceFallbacks.Inc()
+			res, err := c.db.NearestNeighbors(ctx, dataset, q, k)
+			return res, false, err
+		}
+		c.met.coalesceHits.Inc()
+		return call.res, true, call.err
+	}
+	call := &nnCall{done: make(chan struct{})}
+	c.nn[key] = call
+	c.mu.Unlock()
+
+	if testHookNNLeader != nil {
+		testHookNNLeader()
+	}
+	call.res, call.err = c.db.NearestNeighbors(ctx, dataset, q, k)
+	c.mu.Lock()
+	delete(c.nn, key)
+	c.mu.Unlock()
+	close(call.done)
+	return call.res, false, call.err
+}

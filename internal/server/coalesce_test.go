@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	obstacles "repro"
+)
+
+// TestCoalescerReducesGraphBuilds is the coalescer's reason to exist,
+// asserted through the engine's own telemetry: N concurrent same-region
+// distance requests must cost at most ceil(N/maxBatch) visibility-graph
+// builds (in practice one, since every batch lands on the same cached
+// regional graph), where the same N requests issued directly cost N builds
+// — and the coalesced answers must be byte-identical to the direct ones.
+func TestCoalescerReducesGraphBuilds(t *testing.T) {
+	db := newTestDB(t)
+	defer db.Close()
+	s := New(db, Config{CoalesceMaxBatch: 32, CoalesceCell: 512})
+	src := freePoint(t, db)
+
+	const N = 24
+	targets := make([]obstacles.Point, N)
+	// Targets stay inside a tight disk around the source so one cached
+	// regional graph covers every batch (a sprawling target set could
+	// legitimately outgrow an entry and force a rebuild).
+	for i := range targets {
+		targets[i] = obstacles.Pt(src.X+float64(i)*6+11, src.Y+float64(i%5)*13+7)
+	}
+
+	// The uncoalesced baseline: one fresh graph per call, by design (a
+	// single pair query never pays the cache's locking).
+	before := db.Metrics().GraphBuilds
+	direct := make([]float64, N)
+	for i, tgt := range targets {
+		d, err := db.ObstructedDistance(context.Background(), src, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[i] = d
+	}
+	uncoalesced := db.Metrics().GraphBuilds - before
+	if uncoalesced != N {
+		t.Fatalf("baseline: %d graph builds for %d direct queries, want %d", uncoalesced, N, N)
+	}
+
+	// The same N requests, concurrent, through the coalescer.
+	before = db.Metrics().GraphBuilds
+	cacheBefore := db.GraphCacheStats()
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		results [N]float64
+		errs    [N]error
+	)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], _, errs[i] = s.co.Distance(context.Background(), src, targets[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("coalesced request %d: %v", i, err)
+		}
+	}
+
+	builds := db.Metrics().GraphBuilds - before
+	maxBuilds := uint64((N + s.cfg.CoalesceMaxBatch - 1) / s.cfg.CoalesceMaxBatch)
+	if builds > maxBuilds {
+		t.Fatalf("coalesced: %d graph builds for %d concurrent requests, want <= %d",
+			builds, N, maxBuilds)
+	}
+	cache := db.GraphCacheStats()
+	if misses := cache.Misses - cacheBefore.Misses; misses > maxBuilds {
+		t.Fatalf("graph cache misses %d, want <= %d", misses, maxBuilds)
+	}
+
+	// Telemetry: batches executed, and every request beyond the leaders
+	// rode someone else's batch.
+	batches := s.met.coalesceBatches.Value()
+	rides := s.met.coalesceHits.Value()
+	if batches == 0 {
+		t.Fatal("no coalesced batches recorded")
+	}
+	if rides+batches < N {
+		t.Fatalf("batches (%d) + rides (%d) < %d requests", batches, rides, N)
+	}
+
+	// Byte-identical answers: the batch path settles the same graph the
+	// direct path builds, so the floats must match exactly, not just
+	// within tolerance.
+	for i := range results {
+		if results[i] != direct[i] {
+			t.Fatalf("request %d: coalesced %v != direct %v", i, results[i], direct[i])
+		}
+	}
+}
+
+// TestCoalescerDisabled: with DisableCoalesce the server has no coalescer
+// and every concurrent request pays its own build — the control group for
+// the test above, and the -no-coalesce daemon flag's contract.
+func TestCoalescerDisabled(t *testing.T) {
+	db := newTestDB(t)
+	defer db.Close()
+	s := New(db, Config{DisableCoalesce: true})
+	if s.co != nil {
+		t.Fatal("DisableCoalesce left a coalescer in place")
+	}
+}
+
+// TestCoalesceNearestSingleflight: concurrent identical kNN requests share
+// one engine execution and one answer.
+func TestCoalesceNearestSingleflight(t *testing.T) {
+	db := newTestDB(t)
+	defer db.Close()
+	s := New(db, Config{})
+	q := freePoint(t, db)
+
+	want, err := db.NearestNeighbors(context.Background(), "P", q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countBefore := db.Metrics().Queries[obstacles.VerbNearestNeighbors].Count
+
+	// Stage deterministic overlap: the leader parks after registering its
+	// call until every other request has found it and lined up as a rider.
+	const N = 16
+	var riders atomic.Int64
+	leaderGo := make(chan struct{})
+	testHookNNLeader = func() { <-leaderGo }
+	testHookNNRider = func() { riders.Add(1) }
+	defer func() { testHookNNLeader, testHookNNRider = nil, nil }()
+
+	var (
+		wg      sync.WaitGroup
+		results [N][]obstacles.Neighbor
+		errs    [N]error
+	)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = s.co.Nearest(context.Background(), "P", q, 6)
+		}(i)
+	}
+	waitFor(t, "riders to line up", func() bool { return riders.Load() == N-1 })
+	close(leaderGo)
+	wg.Wait()
+
+	executed := db.Metrics().Queries[obstacles.VerbNearestNeighbors].Count - countBefore
+	if executed != 1 {
+		t.Fatalf("singleflight executed %d engine queries for %d identical requests, want 1", executed, N)
+	}
+	if rides := s.met.coalesceHits.Value(); rides != N-1 {
+		t.Fatalf("ride counter = %d, want %d", rides, N-1)
+	}
+	for i := 0; i < N; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("request %d: %d neighbors, want %d", i, len(results[i]), len(want))
+		}
+		for j := range want {
+			if results[i][j] != want[j] {
+				t.Fatalf("request %d neighbor %d: %+v != %+v", i, j, results[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestCoalescerRiderFallback: a rider whose leader's context died must
+// recompute under its own live context instead of inheriting the failure.
+func TestCoalescerRiderFallback(t *testing.T) {
+	db := newTestDB(t)
+	defer db.Close()
+	s := New(db, Config{})
+	src := freePoint(t, db)
+	tgt := obstacles.Pt(src.X+500, src.Y+300)
+
+	// Simulate the leader-died case directly: a filled ticket carrying the
+	// leader's context error, settled by a rider whose own context is live.
+	tk := &distTicket{source: src, target: tgt, err: context.DeadlineExceeded, rode: true}
+	d, rode, err := s.co.settle(context.Background(), tk)
+	if err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	if rode {
+		t.Fatal("fallback result marked as coalesced")
+	}
+	want, _ := db.ObstructedDistance(context.Background(), src, tgt)
+	if d != want {
+		t.Fatalf("fallback answered %v, want %v", d, want)
+	}
+	if s.met.coalesceFallbacks.Value() != 1 {
+		t.Fatalf("fallback counter = %d, want 1", s.met.coalesceFallbacks.Value())
+	}
+
+	// A rider whose own context is also dead just gets the error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk2 := &distTicket{source: src, target: tgt, err: context.DeadlineExceeded}
+	if _, _, err := s.co.settle(ctx, tk2); err == nil {
+		t.Fatal("dead rider got an answer")
+	}
+}

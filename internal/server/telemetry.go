@@ -1,0 +1,69 @@
+package server
+
+import (
+	obstacles "repro"
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the daemon's instrument set, registered into the
+// Database's own telemetry registry (db.TelemetryRegistry()) so the obsd_*
+// series appear on the same /metrics page as the engine's obstacles_*
+// series — one registry, one scrape. Because registration is permanent and
+// the registry rejects duplicate names, at most one Server may be built per
+// Database handle.
+type serverMetrics struct {
+	requests map[string]*telemetry.Counter   // admitted requests, by route
+	errors   map[string]*telemetry.Counter   // error responses, by route
+	seconds  map[string]*telemetry.Histogram // wall time, by route
+
+	rejectedOverload *telemetry.Counter // 429s: admission queue full
+	rejectedDraining *telemetry.Counter // 503s: shutdown in progress
+
+	coalesceBatches   *telemetry.Counter   // batches executed by elected leaders
+	coalesceHits      *telemetry.Counter   // requests answered by another leader's batch
+	coalesceFallbacks *telemetry.Counter   // riders that recomputed after a leader's ctx died
+	coalesceBatchSize *telemetry.Histogram // tickets per executed batch
+}
+
+// routeNames lists every route label up front: the registry wants
+// instruments declared once, and a fixed set keeps the label space bounded.
+var routeNames = []string{
+	routeRange, routeNearest, routeJoin, routeClosestPairs, routeCluster,
+	routeDistance, routePath, routeDistanceMatrix,
+	routeInsertPoints, routeDeletePoints, routeAddObstacles, routeRemoveObstacles,
+	routeCreateDataset, routeDatasets, routeHealth,
+}
+
+func newServerMetrics(db *obstacles.Database, g *gate) *serverMetrics {
+	reg := db.TelemetryRegistry()
+	m := &serverMetrics{
+		requests: make(map[string]*telemetry.Counter, len(routeNames)),
+		errors:   make(map[string]*telemetry.Counter, len(routeNames)),
+		seconds:  make(map[string]*telemetry.Histogram, len(routeNames)),
+	}
+	for _, route := range routeNames {
+		m.requests[route] = reg.Counter("obsd_requests_total",
+			"Requests admitted, by route.", telemetry.L("route", route))
+		m.errors[route] = reg.Counter("obsd_request_errors_total",
+			"Error responses, by route.", telemetry.L("route", route))
+		m.seconds[route] = reg.Histogram("obsd_request_seconds",
+			"Request wall time in seconds, by route.", telemetry.LatencyBuckets,
+			telemetry.L("route", route))
+	}
+	m.rejectedOverload = reg.Counter("obsd_rejected_total",
+		"Requests shed by admission control, by reason.", telemetry.L("reason", "overloaded"))
+	m.rejectedDraining = reg.Counter("obsd_rejected_total",
+		"Requests shed by admission control, by reason.", telemetry.L("reason", "draining"))
+	m.coalesceBatches = reg.Counter("obsd_coalesce_batches_total",
+		"Coalesced batches executed by elected leaders.")
+	m.coalesceHits = reg.Counter("obsd_coalesce_hits_total",
+		"Requests answered by a batch another request led.")
+	m.coalesceFallbacks = reg.Counter("obsd_coalesce_fallbacks_total",
+		"Coalesce riders that recomputed directly after their leader's context expired.")
+	m.coalesceBatchSize = reg.Histogram("obsd_coalesce_batch_size",
+		"Tickets answered per coalesced batch.", telemetry.SizeBuckets)
+	reg.GaugeFunc("obsd_in_flight",
+		"Requests currently executing inside the admission gate.",
+		func() float64 { return float64(g.inFlight()) })
+	return m
+}

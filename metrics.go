@@ -329,6 +329,16 @@ type Metrics struct {
 	Commit CommitMetrics
 }
 
+// TelemetryRegistry returns the database's instrument registry — the one
+// behind Metrics() and the /metrics endpoint. Subsystems layered on top of
+// a Database (the network daemon in internal/server) register their own
+// series here so one scrape covers the whole process; the registry panics
+// on name or label collisions, so added families must not reuse the
+// obstacles_ prefix with conflicting types.
+func (db *Database) TelemetryRegistry() *telemetry.Registry {
+	return db.tel.reg
+}
+
 // Metrics returns a structured snapshot of the database's telemetry:
 // per-verb query counts and latency histograms, engine work totals, cache
 // traffic, and (for durable databases) the commit path's histograms and
