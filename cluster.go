@@ -130,14 +130,18 @@ func (o sessionOracle) EuclideanRange(i int, r float64) ([]int, error) {
 // per source over cached graphs), not per-pair distance calls. Clustering
 // jobs can run long; cancel ctx to abort one mid-flight with ctx.Err().
 func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOptions, opts ...QueryOption) (*Clustering, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.clusterAt(v, ctx, dataset, copts, opts...)
+}
+
+func (db *Database) clusterAt(v *dbVersion, ctx context.Context, dataset string, copts ClusterOptions, opts ...QueryOption) (*Clustering, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	ps, err := db.dataset(dataset)
+	ps, err := v.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
 	// Ids can be sparse after DeletePoints: cluster the compacted live
 	// points, then map the assignments back to id-indexed form (deleted ids
 	// report NoiseCluster).
@@ -150,7 +154,7 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 	for i, id := range liveIDs {
 		idToIdx[id] = i
 	}
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	var st core.Stats
 	oracle := sessionOracle{sess: sess, ps: ps, st: &st, liveIDs: liveIDs, idToIdx: idToIdx}
 	var res *cluster.Result
@@ -210,11 +214,15 @@ func (db *Database) Cluster(ctx context.Context, dataset string, copts ClusterOp
 // per range-enlargement round), which is substantially cheaper than calling
 // ObstructedDistance once per target.
 func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []Point, opts ...QueryOption) ([]float64, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.obstructedDistancesAt(v, ctx, q, targets, opts...)
+}
+
+func (db *Database) obstructedDistancesAt(v *dbVersion, ctx context.Context, q Point, targets []Point, opts ...QueryOption) ([]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	d, st, err := sess.BatchDistances(q, targets)
 	db.record(VerbBatchDistances, &cfg, sess, st, start, err)
 	return d, err
@@ -225,11 +233,15 @@ func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []
 // diagonal — by definition, even for a point strictly inside an obstacle,
 // where the pair APIs report Unreachable).
 func (db *Database) DistanceMatrix(ctx context.Context, pts []Point, opts ...QueryOption) ([][]float64, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.distanceMatrixAt(v, ctx, pts, opts...)
+}
+
+func (db *Database) distanceMatrixAt(v *dbVersion, ctx context.Context, pts []Point, opts ...QueryOption) ([][]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	m, st, err := sess.DistanceMatrix(pts)
 	db.record(VerbDistanceMatrix, &cfg, sess, st, start, err)
 	return m, err

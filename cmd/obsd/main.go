@@ -37,6 +37,15 @@
 // -coalesce-batch by an elected leader over one shared visibility graph;
 // identical concurrent /v1/datasets/{ds}/nearest requests share one
 // execution. -no-coalesce turns both off.
+//
+// Request logging: -log-requests emits one structured JSON line to stderr
+// per request — route, dataset, status, duration, and whether the answer
+// rode a coalesced batch.
+//
+// Backup: POST /v1/admin/backup with {"path": "copy.obs"} writes a
+// consistent point-in-time copy of a durable database to a fresh file
+// while the daemon keeps serving; the copy pins a snapshot, so queries and
+// mutations never block on it.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -75,14 +85,19 @@ func main() {
 
 		graphCache   = flag.Int("graph-cache", 0, "visibility-graph cache entries (0 = engine default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		logRequests  = flag.Bool("log-requests", false, "log one structured JSON line per request to stderr")
 	)
 	flag.Parse()
+	var reqLog *slog.Logger
+	if *logRequests {
+		reqLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	if err := run(*dbPath, *addr, *nObst, *nEnts, *seed, *name,
 		server.Config{
 			MaxInFlight: *maxInFlight, MaxQueued: *maxQueued,
 			DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 			CoalesceCell: *coalesceCell, CoalesceMaxBatch: *coalesceBatch,
-			DisableCoalesce: *noCoalesce,
+			DisableCoalesce: *noCoalesce, RequestLogger: reqLog,
 		}, *graphCache, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "obsd:", err)
 		os.Exit(1)

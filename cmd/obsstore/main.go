@@ -8,6 +8,7 @@
 //	obsstore inspect -db city.obs
 //	obsstore checkpoint -db city.obs
 //	obsstore verify -db city.obs
+//	obsstore backup -db city.obs -to city-copy.obs
 //	obsstore serve-metrics -db city.obs -addr localhost:6060
 //
 // create builds a durable file from a generated street world (obsgen's
@@ -15,7 +16,10 @@
 // written by obsgen. inspect prints the superblock-level stats and the
 // catalog contents. checkpoint applies the WAL to the data file and
 // truncates it. verify reopens the file and cross-checks a sample of
-// queries against an in-memory rebuild of the same data. serve-metrics
+// queries against an in-memory rebuild of the same data. backup writes a
+// consistent point-in-time copy to a fresh file (the file lock keeps tools
+// out of a file a daemon holds open — back up a live obsd with its
+// POST /v1/admin/backup verb instead). serve-metrics
 // holds the file open and serves its telemetry — /metrics in the
 // Prometheus text format, /debug/vars as JSON, pprof under /debug/pprof/ —
 // until interrupted.
@@ -53,6 +57,8 @@ func main() {
 		err = checkpoint(args)
 	case "verify":
 		err = verify(args)
+	case "backup":
+		err = backup(args)
 	case "serve-metrics":
 		err = serveMetrics(args)
 	default:
@@ -65,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify|serve-metrics} -db <file> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify|backup|serve-metrics} -db <file> [flags]")
 	os.Exit(2)
 }
 
@@ -284,6 +290,31 @@ func verify(args []string) error {
 	fmt.Printf("verified %s: %d obstacles, %d entities queried, no inconsistencies\n",
 		*path, db.NumObstacles(), checked)
 	return nil
+}
+
+func backup(args []string) error {
+	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	to := fs.String("to", "", "destination file for the copy")
+	fs.Parse(args)
+	if *path == "" || *to == "" {
+		return fmt.Errorf("backup: -db and -to are required")
+	}
+	db, err := obstacles.Open(*path, obstacles.Options{WALCheckpointBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := db.Backup(context.Background(), *to); err != nil {
+		return err
+	}
+	st, err := os.Stat(*to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("backed up %s to %s (%d bytes); open it like any database file\n",
+		*path, *to, st.Size())
+	return db.Close()
 }
 
 func readRects(path string) ([]geom.Rect, error) {

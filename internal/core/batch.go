@@ -42,20 +42,27 @@ func (s *Session) batchLocal(source geom.Point, targets []geom.Point) (_ []float
 		countReachable(dists, &st)
 		return dists, st, err
 	}
+	if err := s.expandLocal(source, prep, &st); err != nil {
+		return nil, st, err
+	}
+	countReachable(dists, &st)
+	return dists, st, nil
+}
+
+// expandLocal runs the enlargement loop on a fresh query-local graph — the
+// uncached tail of batchLocal, also the fallback when a session's epoch can
+// no longer publish into the shared cache.
+func (s *Session) expandLocal(source geom.Point, prep *batchPrep, st *Stats) error {
 	r0 := prep.maxEuclid
 	obs, err := s.relevantObstacles(source, r0)
 	if err != nil {
-		return nil, st, err
+		return err
 	}
 	g := s.buildGraph(obs)
 	grow := func(radius float64) (bool, error) {
 		return s.addObstaclesWithin(g, source, radius)
 	}
-	if err := s.batchExpand(g, source, prep, r0, grow, &st); err != nil {
-		return nil, st, err
-	}
-	countReachable(dists, &st)
-	return dists, st, nil
+	return s.batchExpand(g, source, prep, r0, grow, st)
 }
 
 func countReachable(dists []float64, st *Stats) {
@@ -89,7 +96,7 @@ func (s *Session) DistanceMatrix(pts []geom.Point) ([][]float64, Stats, error) {
 	// row).
 	batch := s.batchLocal
 	if s.e.cache != nil {
-		local := NewGraphCache(s.e, 4)
+		local := NewGraphCacheAt(s.e, 4, s.epoch)
 		batch = func(source geom.Point, targets []geom.Point) ([]float64, Stats, error) {
 			return s.batchViaCache(local, source, targets)
 		}
@@ -350,10 +357,14 @@ func (s *Session) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchP
 func (s *Session) localGraph(center geom.Point, radius float64) (g *visgraph.Graph, release func(), err error) {
 	if s.e.cache != nil {
 		en, _, err := s.e.cache.acquire(s, center, radius)
-		if err != nil {
+		switch {
+		case err == nil:
+			return en.g, en.release, nil
+		case err != errStaleEpoch:
 			return nil, nil, err
 		}
-		return en.g, en.release, nil
+		// Stale epoch: the session reads an older obstacle generation than
+		// the cache serves; fall through to a query-local graph.
 	}
 	obs, err := s.relevantObstacles(center, radius)
 	if err != nil {
@@ -374,14 +385,31 @@ func (s *Session) localGraph(center geom.Point, radius float64) (g *visgraph.Gra
 // counters sit behind one mutex, and each entry carries its own lock held
 // for the duration of a query's use, so queries on disjoint regions run in
 // parallel while queries sharing a warm graph serialize on just that entry.
+//
+// The cache is multi-version: every entry records the obstacle-epoch range
+// it is valid for ([epochLo, dead)), and InvalidateRegion bounds that range
+// instead of discarding the graph, so sessions pinned to an older snapshot
+// keep their warm graphs while newer epochs build fresh ones. Obstacle
+// mutations may therefore run concurrently with cached queries.
 type GraphCache struct {
 	e   *Engine
-	mu  sync.Mutex // guards entries and stats
+	mu  sync.Mutex // guards entries, epoch bounds, and stats
 	cap int
+	// epoch is the newest obstacle generation the cache has seen; only
+	// sessions at this epoch publish new entries.
+	epoch uint64
 	// entries are kept in recency order, most recent first.
 	entries []*cacheEntry
 	stats   CacheStats
 }
+
+// errStaleEpoch reports that a session's pinned obstacle epoch is older than
+// the cache's current epoch, so the cache can neither publish nor (when no
+// warm entry matched) serve it; callers fall back to a query-local graph.
+var errStaleEpoch = fmt.Errorf("core: graph cache is ahead of the session's obstacle epoch")
+
+// deadNever is the dead bound of an entry valid for every future epoch.
+const deadNever = ^uint64(0)
 
 type cacheEntry struct {
 	// held is a capacity-1 channel lock, held while a session uses or grows
@@ -400,6 +428,18 @@ type cacheEntry struct {
 	// ratchet one entry into a permanently retained near-global graph.
 	base     float64
 	searched atomic.Uint64 // Float64bits of the covered radius
+
+	// Epoch validity bounds, guarded by the cache mutex: the graph's content
+	// reflects obstacle epoch epochLo (raised when a grow pulls in a newer
+	// annulus) and is valid for sessions whose epoch e satisfies
+	// epochLo <= e < dead. InvalidateRegion sets dead instead of discarding
+	// the entry, so older snapshots keep using it.
+	epochLo, dead uint64
+	// growTarget is the high-water radius an in-flight grow is scanning
+	// toward, registered under the cache mutex before the scan so a
+	// concurrent InvalidateRegion tests the disk the graph is about to
+	// cover, not just the coverage already recorded.
+	growTarget float64
 }
 
 func (en *cacheEntry) coverage() float64     { return math.Float64frombits(en.searched.Load()) }
@@ -435,8 +475,8 @@ const growLimit = 4
 // CacheStats counts graph-cache traffic.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
-	// Invalidations counts entries dropped because an obstacle update
-	// touched their coverage disk (see InvalidateRegion).
+	// Invalidations counts entries whose validity was epoch-bounded because
+	// an obstacle update touched their coverage disk (see InvalidateRegion).
 	Invalidations uint64
 }
 
@@ -450,12 +490,19 @@ func (cs CacheStats) HitRate() float64 {
 }
 
 // NewGraphCache returns a cache of at most capacity expanded graphs over e's
-// obstacle set.
+// obstacle set, starting at the set's current generation.
 func NewGraphCache(e *Engine, capacity int) *GraphCache {
+	return NewGraphCacheAt(e, capacity, e.obstacles.Generation())
+}
+
+// NewGraphCacheAt returns a cache pinned to start at the given obstacle
+// epoch — the call-local cache a snapshot session uses so its own epoch
+// counts as current.
+func NewGraphCacheAt(e *Engine, capacity int, epoch uint64) *GraphCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &GraphCache{e: e, cap: capacity}
+	return &GraphCache{e: e, cap: capacity, epoch: epoch}
 }
 
 // EnableGraphCache attaches a graph cache of the given capacity to the
@@ -491,13 +538,22 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 		return nil, 0, err
 	}
 	c.mu.Lock()
+	if s.epoch > c.epoch {
+		// The obstacle generation moved past every invalidation the cache
+		// saw (a mutation that changed no region); adopt it so this epoch's
+		// sessions publish normally.
+		c.epoch = s.epoch
+	}
 	best := -1
 	for i, en := range c.entries {
-		// Reuse only entries whose coverage already contains the source
-		// (growing a distant graph would pull in obstacles the query never
-		// needs) and whose grown radius stays within growLimit of the
-		// entry's original scale (so reuse never inflates a local graph
-		// into a global one).
+		// Reuse only entries valid at the session's obstacle epoch, whose
+		// coverage already contains the source (growing a distant graph
+		// would pull in obstacles the query never needs), and whose grown
+		// radius stays within growLimit of the entry's original scale (so
+		// reuse never inflates a local graph into a global one).
+		if s.epoch < en.epochLo || s.epoch >= en.dead {
+			continue
+		}
 		d := en.center.Dist(source)
 		if d <= en.coverage() && d+r0 <= max(en.coverage(), growLimit*en.base) {
 			if best < 0 || d < c.entries[best].center.Dist(source) {
@@ -518,10 +574,14 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 		if err := en.lock(s); err != nil {
 			return nil, 0, err
 		}
-		if en.g == nil {
-			// The publishing session failed to build the graph (and dropped
-			// the entry); start over — the rescan cannot find it again. Undo
-			// the hit count so one logical acquire scores once.
+		c.mu.Lock()
+		valid := s.epoch >= en.epochLo && s.epoch < en.dead
+		c.mu.Unlock()
+		if en.g == nil || !valid {
+			// Either the publishing session failed to build the graph (and
+			// dropped the entry), or a holder we waited behind re-grew it at
+			// an incompatible epoch; start over — the rescan cannot match it
+			// again. Undo the hit count so one logical acquire scores once.
 			en.unlock()
 			c.mu.Lock()
 			c.stats.Hits--
@@ -529,10 +589,8 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 			return c.acquire(s, source, r0)
 		}
 		if !en.g.Retarget(s.metricsHook()) {
-			// The graph went stale (an obstacle update invalidated it)
-			// between the candidate scan and the lock; drop it and rescan —
-			// Retarget refusing is the last line of defense behind
-			// InvalidateRegion's list removal.
+			// The graph was explicitly invalidated between the candidate
+			// scan and the lock; drop it and rescan.
 			en.unlock()
 			c.drop(en)
 			c.mu.Lock()
@@ -542,19 +600,25 @@ func (c *GraphCache) acquire(s *Session, source geom.Point, r0 float64) (*cacheE
 		}
 		off := en.center.Dist(source)
 		if en.coverage()-off < r0 {
-			if err := en.grow(s, off+r0); err != nil {
+			if err := en.grow(c, s, off+r0); err != nil {
 				en.release()
 				return nil, 0, err
 			}
 		}
 		return en, en.coverage() - off, nil
 	}
+	if s.epoch < c.epoch {
+		// An old-epoch session found no warm graph; it must not publish one
+		// built from its older obstacle view into the shared list.
+		c.mu.Unlock()
+		return nil, 0, errStaleEpoch
+	}
 	c.stats.Misses++
 	// Publish the entry locked and build its graph outside the cache lock:
 	// concurrent queries for the same region block on the entry (and then
 	// find the built graph) instead of duplicating the build or stalling
 	// the whole cache.
-	en := &cacheEntry{center: source, base: r0, held: make(chan struct{}, 1)}
+	en := &cacheEntry{center: source, base: r0, held: make(chan struct{}, 1), epochLo: s.epoch, dead: deadNever}
 	en.setCoverage(r0)
 	en.held <- struct{}{} // uncontended: not yet published
 	c.entries = append([]*cacheEntry{en}, c.entries...)
@@ -583,10 +647,28 @@ func (s *Session) metricsHook() (*visgraph.Metrics, func() bool) {
 // center (enlargements requested around other points are translated to the
 // entry center so coverage stays a single disk). The caller holds the
 // entry's channel lock (en.held, via acquire).
-func (en *cacheEntry) grow(s *Session, radius float64) error {
+//
+// The annulus is scanned through the growing session's obstacle view, so the
+// grown graph reflects that session's epoch: epochLo rises to it, and when
+// the cache has already moved past that epoch the entry's validity is pinned
+// to exactly this epoch (newer epochs may have changed the annulus without
+// ever touching the entry's previously recorded disk). growTarget is
+// registered under the cache mutex before the scan so a concurrent
+// InvalidateRegion bounds the entry if the mutation lands inside the disk
+// being grown into.
+func (en *cacheEntry) grow(c *GraphCache, s *Session, radius float64) error {
 	if radius <= en.coverage() {
 		return nil
 	}
+	c.mu.Lock()
+	en.epochLo = s.epoch
+	if c.epoch > s.epoch && en.dead > s.epoch+1 {
+		en.dead = s.epoch + 1
+	}
+	if radius > en.growTarget {
+		en.growTarget = radius
+	}
+	c.mu.Unlock()
 	if _, err := s.addObstaclesWithin(en.g, en.center, radius); err != nil {
 		return err
 	}
@@ -604,6 +686,15 @@ func (s *Session) batchViaCache(c *GraphCache, source geom.Point, targets []geom
 		return dists, st, err
 	}
 	en, searched, err := c.acquire(s, source, prep.maxEuclid)
+	if err == errStaleEpoch {
+		// The cache serves a newer obstacle generation than this session's
+		// pinned view and held no warm graph for it; run query-local.
+		if err := s.expandLocal(source, prep, &st); err != nil {
+			return nil, st, err
+		}
+		countReachable(dists, &st)
+		return dists, st, nil
+	}
 	if err != nil {
 		return nil, st, err
 	}
@@ -611,7 +702,7 @@ func (s *Session) batchViaCache(c *GraphCache, source geom.Point, targets []geom
 	grow := func(radius float64) (bool, error) {
 		// Cover disk(source, radius) via the containing entry-centered disk.
 		before := en.g.NumObstacles()
-		if err := en.grow(s, off+radius); err != nil {
+		if err := en.grow(c, s, off+radius); err != nil {
 			return false, err
 		}
 		return en.g.NumObstacles() > before, nil
@@ -634,43 +725,45 @@ func (s *Session) batchViaCache(c *GraphCache, source geom.Point, targets []geom
 	return dists, st, nil
 }
 
-// InvalidateRegion drops every cached graph whose coverage disk intersects
-// r — the MBR of an added or removed obstacle. Entries elsewhere survive:
-// their graphs never incorporated (and were never required to incorporate)
-// an obstacle outside their disk, so an update that does not touch the disk
-// cannot change any distance they produce. Dropped graphs are marked stale,
-// making Retarget refuse them should any straggler still hold a reference.
+// InvalidateRegion epoch-bounds every cached graph whose coverage disk (or
+// the disk an in-flight grow is scanning toward) intersects r — the MBR of
+// an added or removed obstacle. The caller must have already bumped the
+// obstacle set's generation: entries touching r become invalid for sessions
+// at the new generation, while sessions pinned to older epochs keep using
+// them — their snapshot of the obstacle set genuinely matches the cached
+// graph. Entries elsewhere survive at every epoch: their graphs never
+// incorporated (and were never required to incorporate) an obstacle outside
+// their disk, so an update that does not touch the disk cannot change any
+// distance they produce.
 //
-// Like EnableGraphCache, this must not run while queries are in flight; the
-// public Database calls it under its update write lock. It returns the
-// number of entries invalidated.
+// Safe to run concurrently with queries; superseded entries age out of the
+// LRU once no old-epoch session hits them. It returns the number of entries
+// epoch-bounded.
 func (c *GraphCache) InvalidateRegion(r geom.Rect) int {
+	epoch := c.e.obstacles.Generation()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	kept := c.entries[:0]
-	dropped := 0
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+	bounded := 0
 	for _, en := range c.entries {
-		if r.IntersectsCircle(en.center, en.coverage()) {
-			if en.g != nil {
-				en.g.Invalidate()
-			}
-			dropped++
+		if en.dead <= epoch {
+			continue // already invalid at (or before) this epoch
+		}
+		if r.IntersectsCircle(en.center, max(en.coverage(), en.growTarget)) {
+			en.dead = epoch
+			bounded++
 			c.stats.Invalidations++
-		} else {
-			kept = append(kept, en)
 		}
 	}
-	for i := len(kept); i < len(c.entries); i++ {
-		c.entries[i] = nil
-	}
-	c.entries = kept
-	return dropped
+	return bounded
 }
 
 // InvalidateObstacleRegion tells the engine's graph cache (when enabled)
-// that the obstacle set changed inside r; cached graphs covering r are
-// dropped, the rest keep serving queries. Must not run concurrently with
-// queries.
+// that the obstacle set changed inside r; cached graphs covering r stop
+// serving the new obstacle generation (older pinned readers keep them), the
+// rest keep serving every epoch.
 func (e *Engine) InvalidateObstacleRegion(r geom.Rect) int {
 	if e.cache == nil {
 		return 0

@@ -34,6 +34,65 @@ type PointSet struct {
 	// free lists dead ids available for reuse, so sustained churn keeps the
 	// id space (and the pts slice) bounded instead of growing forever.
 	free []int64
+
+	// Copy-on-write state (EnableCOW): with cow set, a mutation epoch never
+	// writes an element a Seal()ed view can read. Appends are always safe —
+	// sealed slice headers end before the appended index — but the first
+	// in-place write of an epoch clones the whole array; the own* flags
+	// record which arrays are already private to the current epoch. The free
+	// list clones before any modification, including pops: a pop alone looks
+	// harmless, but a later push would rewrite an index the sealed header
+	// still covers.
+	cow                      bool
+	ownPts, ownDead, ownFree bool
+}
+
+// EnableCOW switches the set (and its tree) to copy-on-write mutation, so
+// Seal views stay consistent while the set mutates.
+func (s *PointSet) EnableCOW() {
+	s.cow = true
+	s.tree.EnableCOW()
+}
+
+// BeginEpoch starts a mutation epoch: the current arrays are considered
+// published (a Seal may have captured them) and clone on first in-place
+// write.
+func (s *PointSet) BeginEpoch() {
+	if s.cow {
+		s.ownPts, s.ownDead, s.ownFree = false, false, false
+		s.tree.BeginEpoch()
+	}
+}
+
+// Seal returns a frozen read-only view of the set: a struct copy sharing
+// the current arrays (whose covered elements no later epoch rewrites) over
+// a pinned tree view. Len/Alive/Point answer as of the seal.
+func (s *PointSet) Seal() *PointSet {
+	cp := *s
+	cp.tree = s.tree.View()
+	cp.cow = false
+	return &cp
+}
+
+func (s *PointSet) ensurePts() {
+	if s.cow && !s.ownPts {
+		s.pts = append([]geom.Point(nil), s.pts...)
+		s.ownPts = true
+	}
+}
+
+func (s *PointSet) ensureDead() {
+	if s.cow && !s.ownDead {
+		s.dead = append([]bool(nil), s.dead...)
+		s.ownDead = true
+	}
+}
+
+func (s *PointSet) ensureFree() {
+	if s.cow && !s.ownFree {
+		s.free = append([]int64(nil), s.free...)
+		s.ownFree = true
+	}
 }
 
 // NewPointSet indexes pts with an R-tree. Bulk loading (STR) is used when
@@ -165,6 +224,9 @@ func (s *PointSet) Insert(pts []geom.Point) ([]int64, error) {
 	for _, p := range pts {
 		var id int64
 		if n := len(s.free); n > 0 {
+			s.ensureFree()
+			s.ensurePts()
+			s.ensureDead()
 			id = s.free[n-1]
 			s.free = s.free[:n-1]
 			s.pts[id] = p
@@ -181,8 +243,11 @@ func (s *PointSet) Insert(pts []geom.Point) ([]int64, error) {
 			// consistent with the tree.
 			if s.dead == nil {
 				s.dead = make([]bool, len(s.pts))
+				s.ownDead = true
 			}
+			s.ensureDead()
 			s.dead[id] = true
+			s.ensureFree()
 			s.free = append(s.free, id)
 			return ids, fmt.Errorf("core: inserting point %v: %w", p, err)
 		}
@@ -206,8 +271,11 @@ func (s *PointSet) Delete(id int64) error {
 	}
 	if s.dead == nil {
 		s.dead = make([]bool, len(s.pts))
+		s.ownDead = true
 	}
+	s.ensureDead()
 	s.dead[id] = true
+	s.ensureFree()
 	s.free = append(s.free, id)
 	return nil
 }
@@ -222,9 +290,59 @@ type ObstacleSet struct {
 	polys []geom.Polygon
 	dead  []bool
 	free  []int64
-	// gen counts mutations. Read atomically by cache-staleness checks that
+	// gen counts mutations. Read atomically (sync/atomic functions on a plain
+	// word, so Seal's struct copy stays legal) by cache-staleness checks that
 	// may run outside the writer's critical section.
-	gen atomic.Uint64
+	gen uint64
+
+	// Copy-on-write state; see the PointSet field of the same shape.
+	cow                        bool
+	ownPolys, ownDead, ownFree bool
+}
+
+// EnableCOW switches the set (and its tree) to copy-on-write mutation.
+func (o *ObstacleSet) EnableCOW() {
+	o.cow = true
+	o.tree.EnableCOW()
+}
+
+// BeginEpoch starts a mutation epoch; the current arrays clone on first
+// in-place write so earlier Seal views stay intact.
+func (o *ObstacleSet) BeginEpoch() {
+	if o.cow {
+		o.ownPolys, o.ownDead, o.ownFree = false, false, false
+		o.tree.BeginEpoch()
+	}
+}
+
+// Seal returns a frozen read-only view of the obstacle set at its current
+// generation.
+func (o *ObstacleSet) Seal() *ObstacleSet {
+	cp := *o
+	cp.tree = o.tree.View()
+	cp.cow = false
+	return &cp
+}
+
+func (o *ObstacleSet) ensurePolys() {
+	if o.cow && !o.ownPolys {
+		o.polys = append([]geom.Polygon(nil), o.polys...)
+		o.ownPolys = true
+	}
+}
+
+func (o *ObstacleSet) ensureDead() {
+	if o.cow && !o.ownDead {
+		o.dead = append([]bool(nil), o.dead...)
+		o.ownDead = true
+	}
+}
+
+func (o *ObstacleSet) ensureFree() {
+	if o.cow && !o.ownFree {
+		o.free = append([]int64(nil), o.free...)
+		o.ownFree = true
+	}
 }
 
 // NewObstacleSet indexes polys by their MBRs.
@@ -285,7 +403,7 @@ func AttachObstacleSet(t *rtree.Tree, polys map[int64][]geom.Point, idBound int6
 			o.free = append(o.free, id)
 		}
 	}
-	o.gen.Store(gen)
+	atomic.StoreUint64(&o.gen, gen)
 	return o, nil
 }
 
@@ -304,7 +422,7 @@ func (o *ObstacleSet) IDBound() int64 { return int64(len(o.polys)) }
 // Generation returns the mutation counter: it increases on every Add or
 // Remove, so a visibility graph stamped with an older generation may reflect
 // an obstacle set that no longer exists.
-func (o *ObstacleSet) Generation() uint64 { return o.gen.Load() }
+func (o *ObstacleSet) Generation() uint64 { return atomic.LoadUint64(&o.gen) }
 
 // Alive reports whether id refers to a live obstacle.
 func (o *ObstacleSet) Alive(id int64) bool {
@@ -322,6 +440,9 @@ func (o *ObstacleSet) Add(polys []geom.Polygon) ([]int64, error) {
 	for _, pg := range polys {
 		var id int64
 		if n := len(o.free); n > 0 {
+			o.ensureFree()
+			o.ensurePolys()
+			o.ensureDead()
 			id = o.free[n-1]
 			o.free = o.free[:n-1]
 			o.polys[id] = pg
@@ -336,16 +457,19 @@ func (o *ObstacleSet) Add(polys []geom.Polygon) ([]int64, error) {
 		if err := o.tree.Insert(pg.Bounds(), id); err != nil {
 			if o.dead == nil {
 				o.dead = make([]bool, len(o.polys))
+				o.ownDead = true
 			}
+			o.ensureDead()
 			o.dead[id] = true
+			o.ensureFree()
 			o.free = append(o.free, id)
-			o.gen.Add(1)
+			atomic.AddUint64(&o.gen, 1)
 			return ids, fmt.Errorf("core: inserting obstacle: %w", err)
 		}
 		ids = append(ids, id)
 	}
 	if len(ids) > 0 {
-		o.gen.Add(1)
+		atomic.AddUint64(&o.gen, 1)
 	}
 	return ids, nil
 }
@@ -366,10 +490,13 @@ func (o *ObstacleSet) Remove(id int64) (geom.Rect, error) {
 	}
 	if o.dead == nil {
 		o.dead = make([]bool, len(o.polys))
+		o.ownDead = true
 	}
+	o.ensureDead()
 	o.dead[id] = true
+	o.ensureFree()
 	o.free = append(o.free, id)
-	o.gen.Add(1)
+	atomic.AddUint64(&o.gen, 1)
 	return mbr, nil
 }
 

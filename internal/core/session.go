@@ -32,6 +32,12 @@ type Session struct {
 	// merged tracks the met counters already folded into the engine totals,
 	// making mergeTotals idempotent.
 	merged visgraph.Metrics
+	// obst is the obstacle set the session reads — the engine's live set, or
+	// a sealed view when the caller pinned a snapshot (NewSessionAt).
+	obst *ObstacleSet
+	// epoch is obst's generation at session start; the graph cache uses it
+	// to decide whether this session may grow shared cached graphs.
+	epoch uint64
 	// obstTree is the session's counted view of the obstacle R-tree.
 	obstTree *rtree.Tree
 	// insideMemo caches InsideObstacle answers: inside-ness is a fixed
@@ -63,11 +69,22 @@ func (s *Session) buildGraph(obs []visgraph.Obstacle) *visgraph.Graph {
 // query run on the session: once it is canceled or past its deadline, running
 // expansions abort and session methods return ctx.Err().
 func (e *Engine) NewSession(ctx context.Context) *Session {
+	return e.NewSessionAt(ctx, e.obstacles)
+}
+
+// NewSessionAt starts a query session reading the given obstacle set view
+// instead of the engine's live set — the hook snapshot reads use: the caller
+// passes a Seal()ed set and the whole session answers at that generation.
+// A nil obst falls back to the live set.
+func (e *Engine) NewSessionAt(ctx context.Context, obst *ObstacleSet) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s := &Session{e: e, ctx: ctx}
-	s.obstTree = e.obstacles.tree.Counted(&s.io)
+	if obst == nil {
+		obst = e.obstacles
+	}
+	s := &Session{e: e, ctx: ctx, obst: obst, epoch: obst.Generation()}
+	s.obstTree = obst.tree.Counted(&s.io)
 	return s
 }
 
@@ -183,7 +200,7 @@ func (s *Session) relevantObstacles(center geom.Point, radius float64) ([]visgra
 		return nil, err
 	}
 	defer s.trace.StartSpan("obstacle-scan")()
-	polys := s.e.obstacles.polys
+	polys := s.obst.polys
 	var out []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
 		pg := polys[it.Data]
@@ -206,7 +223,7 @@ func (s *Session) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radiu
 		return false, err
 	}
 	defer s.trace.StartSpan("graph-grow")()
-	polys := s.e.obstacles.polys
+	polys := s.obst.polys
 	var batch []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
 		if g.HasObstacle(it.Data) {
@@ -237,7 +254,7 @@ func (s *Session) InsideObstacle(p geom.Point) (bool, error) {
 	if inside, ok := s.insideMemo[p]; ok {
 		return inside, nil
 	}
-	polys := s.e.obstacles.polys
+	polys := s.obst.polys
 	inside := false
 	err := s.obstTree.SearchCircle(p, 0, func(it rtree.Item) bool {
 		if polys[it.Data].ContainsStrict(p) {

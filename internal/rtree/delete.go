@@ -23,6 +23,7 @@ func (t *Tree) Delete(r geom.Rect, data int64) (bool, error) {
 	if err != nil || !found {
 		return found, err
 	}
+	t.root = rootNode.id // COW may have relocated the root
 	t.size--
 	// Reinsert orphans from dissolved nodes. Mark every level as already
 	// reinserted so overflow during condensation splits instead of cascading
@@ -43,7 +44,7 @@ func (t *Tree) Delete(r geom.Rect, data int64) (bool, error) {
 			break
 		}
 		child := pagefile.PageID(rootNode.entries[0].ref)
-		if err := t.pf.Free(t.root); err != nil {
+		if err := t.freeNode(t.root); err != nil {
 			return true, err
 		}
 		t.root = child
@@ -85,12 +86,12 @@ func (t *Tree) deleteFrom(n *node, r geom.Rect, data int64) (bool, error) {
 			for _, ce := range child.entries {
 				t.pending = append(t.pending, pendingInsert{e: ce, level: child.level})
 			}
-			if err := t.pf.Free(child.id); err != nil {
+			if err := t.freeNode(child.id); err != nil {
 				return false, err
 			}
 			n.entries = append(n.entries[:i], n.entries[i+1:]...)
 		} else {
-			n.entries[i].rect = child.mbr()
+			n.entries[i] = entry{rect: child.mbr(), ref: uint64(child.id)}
 		}
 		return true, t.writeNode(n)
 	}

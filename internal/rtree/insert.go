@@ -59,11 +59,12 @@ func (t *Tree) insertFromRoot(e entry, level uint16) error {
 		return err
 	}
 	if split == nil {
+		t.root = rootNode.id // COW may have relocated the root
 		return nil
 	}
 	// Root split: create a new root one level up.
 	newRoot := &node{level: rootNode.level + 1}
-	newRoot.id, err = t.pf.Allocate()
+	newRoot.id, err = t.allocPage()
 	if err != nil {
 		return err
 	}
@@ -96,7 +97,7 @@ func (t *Tree) insertInto(n *node, e entry, level uint16) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.entries[idx].rect = child.mbr()
+	n.entries[idx] = entry{rect: child.mbr(), ref: uint64(child.id)}
 	if split != nil {
 		n.entries = append(n.entries, *split)
 	}
@@ -188,7 +189,7 @@ func (t *Tree) split(n *node) (*entry, error) {
 	n.entries = group1
 	sib := &node{level: n.level, entries: group2}
 	var err error
-	sib.id, err = t.pf.Allocate()
+	sib.id, err = t.allocPage()
 	if err != nil {
 		return nil, err
 	}

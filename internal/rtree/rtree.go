@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/pagefile"
@@ -120,6 +121,110 @@ type Tree struct {
 	// ioExtra, when non-nil, additionally receives every page-read counter
 	// of this handle — the per-query attribution hook behind Counted.
 	ioExtra *pagefile.Stats
+
+	// Copy-on-write state (EnableCOW). In COW mode a mutation epoch
+	// (BeginEpoch..TakeRetired) never overwrites a page allocated before
+	// the epoch: writeNode relocates the node to a fresh page and retires
+	// the old one, so a View taken between epochs stays a fully consistent
+	// tree no matter how the original mutates afterwards.
+	cow     bool
+	owned   map[pagefile.PageID]struct{} // pages allocated this epoch
+	retired []pagefile.PageID            // pages the new generation abandoned
+	// cowCopies counts pages relocated by COW writes; a pointer so views
+	// made by Counted/View share the counter.
+	cowCopies *atomic.Uint64
+}
+
+// EnableCOW switches the tree to copy-on-write mutation. From the next
+// BeginEpoch on, mutators write only pages allocated within their own
+// epoch, and pages a mutation abandons surface through TakeRetired instead
+// of returning to the page file — the caller frees them once no reader can
+// still hold a View that references them.
+func (t *Tree) EnableCOW() {
+	t.cow = true
+	if t.owned == nil {
+		t.owned = make(map[pagefile.PageID]struct{})
+	}
+}
+
+// BeginEpoch starts a new mutation epoch: every page written from here on
+// is either freshly allocated or cloned (relocated) from its current image
+// first. Pages already retired stay queued for TakeRetired.
+func (t *Tree) BeginEpoch() {
+	if t.cow {
+		clear(t.owned)
+	}
+}
+
+// View returns a frozen read-only view of the tree at its current root.
+// The view shares the page file (and its warm buffer) with the original
+// but keeps its own root/height/size, so with COW enabled later mutations
+// of the original are invisible to it.
+func (t *Tree) View() *Tree {
+	cp := *t
+	cp.pending, cp.reinsLvl = nil, nil
+	cp.owned, cp.retired = nil, nil
+	return &cp
+}
+
+// TakeRetired returns and clears the pages that mutation epochs since the
+// last call stopped referencing. The tree never frees them itself in COW
+// mode: an older View may still read them, so the owner frees them once no
+// such view remains pinned.
+func (t *Tree) TakeRetired() []pagefile.PageID {
+	out := t.retired
+	t.retired = nil
+	return out
+}
+
+// COWCopies returns the cumulative number of pages relocated by
+// copy-on-write mutation.
+func (t *Tree) COWCopies() uint64 { return t.cowCopies.Load() }
+
+// allocPage reserves a page for a node written this epoch.
+func (t *Tree) allocPage() (pagefile.PageID, error) {
+	id, err := t.pf.Allocate()
+	if err == nil && t.cow {
+		t.owned[id] = struct{}{}
+	}
+	return id, err
+}
+
+// freeNode releases a node page: pages allocated this epoch return to the
+// page file immediately (no published view can reference them), while
+// older pages are retired for the owner to free when safe.
+func (t *Tree) freeNode(id pagefile.PageID) error {
+	if t.cow {
+		if _, ok := t.owned[id]; !ok {
+			t.retired = append(t.retired, id)
+			return nil
+		}
+		delete(t.owned, id)
+	}
+	return t.pf.Free(id)
+}
+
+// Pages appends the ids of every page reachable from the root — the page
+// set a backup must copy — to dst and returns it.
+func (t *Tree) Pages(dst []pagefile.PageID) ([]pagefile.PageID, error) {
+	return t.pages(t.root, dst)
+}
+
+func (t *Tree) pages(id pagefile.PageID, dst []pagefile.PageID) ([]pagefile.PageID, error) {
+	dst = append(dst, id)
+	n, err := t.readNode(id)
+	if err != nil {
+		return dst, err
+	}
+	if n.isLeaf() {
+		return dst, nil
+	}
+	for _, e := range n.entries {
+		if dst, err = t.pages(pagefile.PageID(e.ref), dst); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
 }
 
 // Counted returns a read-only view of the tree whose page reads are
@@ -156,12 +261,13 @@ func New(opts Options) (*Tree, error) {
 		minE = 1
 	}
 	t := &Tree{
-		pf:       pagefile.NewWithStorage(st, opts.BufferPages),
-		opts:     opts,
-		height:   1,
-		maxE:     maxE,
-		minE:     minE,
-		reinsLvl: make(map[uint16]bool),
+		pf:        pagefile.NewWithStorage(st, opts.BufferPages),
+		opts:      opts,
+		height:    1,
+		maxE:      maxE,
+		minE:      minE,
+		reinsLvl:  make(map[uint16]bool),
+		cowCopies: new(atomic.Uint64),
 	}
 	rootNode := &node{level: 0}
 	var err error
@@ -261,10 +367,25 @@ func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 	return n, nil
 }
 
-// writeNode serializes n onto its page.
+// writeNode serializes n onto its page. In COW mode a node whose page
+// predates the current epoch is relocated first: the old page is retired
+// (still referenced by published views) and the node moves to a fresh one;
+// the caller must propagate the new n.id into the parent entry.
 func (t *Tree) writeNode(n *node) error {
 	if len(n.entries) > t.maxE {
 		return fmt.Errorf("rtree: node %d overflows page: %d > %d", n.id, len(n.entries), t.maxE)
+	}
+	if t.cow {
+		if _, ok := t.owned[n.id]; !ok {
+			t.retired = append(t.retired, n.id)
+			id, err := t.pf.Allocate()
+			if err != nil {
+				return err
+			}
+			t.owned[id] = struct{}{}
+			n.id = id
+			t.cowCopies.Add(1)
+		}
 	}
 	p := make([]byte, t.pf.PageSize())
 	binary.LittleEndian.PutUint16(p[0:2], n.level)

@@ -16,7 +16,14 @@
 //     graph (see coalesce.go);
 //   - graceful shutdown: Shutdown shuts the admission gate, lets every
 //     in-flight request finish, and only then closes the Database, so the
-//     durable store always sees a clean close.
+//     durable store always sees a clean close;
+//   - structured request logging: Config.RequestLogger, when set, receives
+//     one slog record per request — route, dataset, status, duration, and
+//     whether the answer rode a coalesced batch.
+//
+// Administrative verbs live under /v1/admin: POST /v1/admin/backup writes a
+// consistent point-in-time copy of a durable database to a fresh file while
+// queries and mutations keep running (Database.Backup).
 //
 // The daemon's /metrics, /debug/vars and /debug/pprof/ endpoints are the
 // Database's own observability mux (DebugHandler) mounted on the API
@@ -29,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -55,6 +63,7 @@ const (
 	routeCreateDataset   = "create_dataset"
 	routeDatasets        = "datasets"
 	routeHealth          = "health"
+	routeBackup          = "backup"
 )
 
 // maxBodyBytes caps request bodies; distance-matrix and dataset-creation
@@ -87,6 +96,12 @@ type Config struct {
 	// independently. The coalesced path stays byte-compatible, so this is
 	// a performance knob, not a semantics one.
 	DisableCoalesce bool
+	// RequestLogger, when non-nil, receives one structured record per
+	// request: route, dataset ("" for routes without one), HTTP status,
+	// wall-clock duration (queueing included), and whether the answer rode
+	// a coalesced batch another request led. Records are Info below status
+	// 500 and Warn at or above it. Nil disables request logging.
+	RequestLogger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +186,9 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("POST /v1/obstacles", s.handle(routeAddObstacles, true, s.handleAddObstacles))
 	mux.Handle("POST /v1/obstacles/remove", s.handle(routeRemoveObstacles, true, s.handleRemoveObstacles))
 	mux.Handle("PUT /v1/datasets/{dataset}", s.handle(routeCreateDataset, true, s.handleCreateDataset))
+	// Admin verbs. Backup is gated: it holds an admission slot while the
+	// copy runs, so MaxInFlight bounds backups and queries together.
+	mux.Handle("POST /v1/admin/backup", s.handle(routeBackup, true, s.handleBackup))
 	// Admin reads bypass the gate: health and listings must answer even
 	// when the gate is saturated or draining.
 	mux.Handle("GET /v1/datasets", s.handle(routeDatasets, false, s.handleDatasets))
@@ -256,13 +274,56 @@ func unknownDataset(name string) error {
 	return &httpError{http.StatusNotFound, CodeUnknownDataset, fmt.Sprintf("unknown dataset %q", name)}
 }
 
+// reqInfo rides the request context so handlers can annotate the request
+// log record the pipeline emits after they return.
+type reqInfo struct {
+	coalesced bool
+}
+
+type reqInfoKey struct{}
+
+// markCoalesced records, for the request log, that this response was
+// answered by a coalesced batch another request led.
+func markCoalesced(ctx context.Context) {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		ri.coalesced = true
+	}
+}
+
+// logRequest emits the one-per-request structured record, if a
+// RequestLogger is configured.
+func (s *Server) logRequest(r *http.Request, route string, status int, d time.Duration, ri *reqInfo) {
+	lg := s.cfg.RequestLogger
+	if lg == nil {
+		return
+	}
+	level := slog.LevelInfo
+	if status >= 500 {
+		level = slog.LevelWarn
+	}
+	lg.LogAttrs(r.Context(), level, "request",
+		slog.String("route", route),
+		slog.String("dataset", r.PathValue("dataset")),
+		slog.Int("status", status),
+		slog.Duration("duration", d),
+		slog.Bool("coalesced", ri.coalesced))
+}
+
 // handle wraps a verb handler with the request pipeline: telemetry,
-// admission (when gated), deadline propagation, and error encoding.
+// admission (when gated), deadline propagation, error encoding, and request
+// logging.
 func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+		fail := func(err error) {
+			status := s.writeErr(w, route, err)
+			s.logRequest(r, route, status, time.Since(start), ri)
+		}
 		if gated {
 			if err := s.gate.acquire(r.Context()); err != nil {
-				s.writeErr(w, route, err)
+				fail(err)
 				return
 			}
 			defer s.gate.release()
@@ -279,7 +340,7 @@ func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter,
 		if v := r.URL.Query().Get("timeout"); v != "" {
 			d, err := time.ParseDuration(v)
 			if err != nil || d <= 0 {
-				s.writeErr(w, route, badRequest("invalid timeout %q", v))
+				fail(badRequest("invalid timeout %q", v))
 				return
 			}
 			timeout = d
@@ -290,18 +351,20 @@ func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter,
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
-		start := time.Now()
+		qStart := time.Now()
 		err := fn(w, r.WithContext(ctx))
-		s.met.seconds[route].ObserveDuration(time.Since(start))
+		s.met.seconds[route].ObserveDuration(time.Since(qStart))
 		if err != nil {
-			s.writeErr(w, route, err)
+			fail(err)
+			return
 		}
+		s.logRequest(r, route, http.StatusOK, time.Since(start), ri)
 	})
 }
 
-// writeErr maps an error to its HTTP status + wire code and encodes the
-// envelope.
-func (s *Server) writeErr(w http.ResponseWriter, route string, err error) {
+// writeErr maps an error to its HTTP status + wire code, encodes the
+// envelope, and returns the status written.
+func (s *Server) writeErr(w http.ResponseWriter, route string, err error) int {
 	status, code := http.StatusInternalServerError, CodeInternal
 	var he *httpError
 	switch {
@@ -324,11 +387,14 @@ func (s *Server) writeErr(w http.ResponseWriter, route string, err error) {
 		status, code = http.StatusServiceUnavailable, CodeNeedsReopen
 	case errors.Is(err, obstacles.ErrDatabaseClosed):
 		status, code = http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, obstacles.ErrNotPersistent):
+		status, code = http.StatusConflict, CodeNotPersistent
 	}
 	s.met.errors[route].Inc()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error{Code: code, Message: err.Error()}})
+	return status
 }
 
 // decode reads a strict JSON body: unknown fields and trailing garbage are
@@ -399,7 +465,11 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) error {
 	}
 	var nbs []obstacles.Neighbor
 	if s.co != nil {
-		nbs, _, err = s.co.Nearest(r.Context(), name, req.Q.Point(), req.K)
+		var rode bool
+		nbs, rode, err = s.co.Nearest(r.Context(), name, req.Q.Point(), req.K)
+		if rode {
+			markCoalesced(r.Context())
+		}
 	} else {
 		nbs, err = s.db.NearestNeighbors(r.Context(), name, req.Q.Point(), req.K)
 	}
@@ -504,6 +574,9 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) error {
 	)
 	if s.co != nil {
 		d, rode, err = s.co.Distance(r.Context(), req.A.Point(), req.B.Point())
+		if rode {
+			markCoalesced(r.Context())
+		}
 	} else {
 		d, err = s.db.ObstructedDistance(r.Context(), req.A.Point(), req.B.Point())
 	}
@@ -671,6 +744,24 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) err
 		return err
 	}
 	return encode(w, CreateDatasetResponse{Dataset: name, Size: len(pts)})
+}
+
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) error {
+	var req BackupRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	if req.Path == "" {
+		return badRequest("empty backup path")
+	}
+	// Pin explicitly (rather than calling db.Backup) so the response can
+	// name the generation the copy captured.
+	snap := s.db.Snapshot()
+	defer snap.Close()
+	if err := snap.Backup(r.Context(), req.Path); err != nil {
+		return err
+	}
+	return encode(w, BackupResponse{Path: req.Path, Generation: snap.Generation()})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) error {

@@ -31,7 +31,7 @@ var routeNames = []string{
 	routeRange, routeNearest, routeJoin, routeClosestPairs, routeCluster,
 	routeDistance, routePath, routeDistanceMatrix,
 	routeInsertPoints, routeDeletePoints, routeAddObstacles, routeRemoveObstacles,
-	routeCreateDataset, routeDatasets, routeHealth,
+	routeCreateDataset, routeDatasets, routeHealth, routeBackup,
 }
 
 func newServerMetrics(db *obstacles.Database, g *gate) *serverMetrics {

@@ -56,6 +56,9 @@ const (
 	// commit failure (obstacles.ErrNeedsReopen); mutations will fail until
 	// the operator restarts the daemon.
 	CodeNeedsReopen = "needs_reopen"
+	// CodeNotPersistent (409): backup of an in-memory database
+	// (obstacles.ErrNotPersistent) — only durable databases can be copied.
+	CodeNotPersistent = "not_persistent"
 	// CodeInternal (500): anything else.
 	CodeInternal = "internal"
 )
@@ -284,6 +287,22 @@ type CreateDatasetRequest struct {
 type CreateDatasetResponse struct {
 	Dataset string `json:"dataset"`
 	Size    int    `json:"size"`
+}
+
+// BackupRequest: POST /v1/admin/backup — write a consistent point-in-time
+// copy of the database to Path (a filesystem path on the daemon's host).
+// The copy pins the generation current at the request and never blocks
+// concurrent queries or mutations. Long copies are subject to the request
+// deadline like any verb; raise ?timeout= for large databases.
+type BackupRequest struct {
+	Path string `json:"path"`
+}
+
+// BackupResponse acknowledges the backup and names the generation
+// (mutation count) the copy captured.
+type BackupResponse struct {
+	Path       string `json:"path"`
+	Generation uint64 `json:"generation"`
 }
 
 // DatasetInfo describes one dataset in the namespace listing.

@@ -22,24 +22,30 @@ import (
 //
 // WithFilter and WithLimit apply in-stream; WithStats is written when the
 // loop ends (break included). Cancelling ctx ends the sequence with
-// ctx.Err(). Unlike the one-shot verbs, the stream does not pin the
-// database between pulls: if InsertPoints/DeletePoints/AddObstacles/
-// RemoveObstacles commit mid-stream, the sequence ends with
-// ErrConcurrentUpdate and should be restarted.
+// ctx.Err(). The stream pins the generation current when it starts:
+// mutations committing mid-stream neither disturb it nor appear in it — the
+// sequence reports exactly the pre-mutation dataset and obstacle set.
 func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts ...QueryOption) iter.Seq2[Neighbor, error] {
+	return func(yield func(Neighbor, error) bool) {
+		v := db.pin()
+		defer db.unpin(v)
+		db.nearestAt(v, ctx, dataset, q, opts...)(yield)
+	}
+}
+
+// nearestAt is the stream body over an already-pinned version; the caller
+// owns the pin for the duration of the iteration.
+func (db *Database) nearestAt(v *dbVersion, ctx context.Context, dataset string, q Point, opts ...QueryOption) iter.Seq2[Neighbor, error] {
 	return func(yield func(Neighbor, error) bool) {
 		cfg := applyOptions(opts)
 		start := time.Now()
-		ps, err := db.dataset(dataset)
+		ps, err := v.dataset(dataset)
 		if err != nil {
 			yield(Neighbor{}, err)
 			return
 		}
-		db.updateMu.RLock()
-		gen := db.generation()
-		sess := db.newSession(ctx)
+		sess := db.newSessionAt(ctx, v)
 		it := sess.NearestIterator(ps, q)
-		db.updateMu.RUnlock()
 		emitted, pulled := 0, 0
 		defer func() {
 			st := it.Stats()
@@ -51,14 +57,7 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 			db.record(VerbNearestStream, &cfg, sess, st, start, it.Err())
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
-			db.updateMu.RLock()
-			if db.generation() != gen {
-				db.updateMu.RUnlock()
-				yield(Neighbor{}, ErrConcurrentUpdate)
-				return
-			}
 			r, ok := it.Next()
-			db.updateMu.RUnlock()
 			if !ok {
 				if err := it.Err(); err != nil {
 					yield(Neighbor{}, err)
@@ -85,27 +84,34 @@ func (db *Database) Nearest(ctx context.Context, dataset string, q Point, opts .
 // for constrained closest-pair queries ("closest city/factory pair where
 // the city has over 1M residents"). WithPairFilter and WithLimit apply
 // in-stream; WithStats is written when the loop ends. Cancelling ctx ends
-// the sequence with ctx.Err(); a mutation committing mid-stream ends it
-// with ErrConcurrentUpdate.
+// the sequence with ctx.Err(). Like Nearest, the stream pins its starting
+// generation, so mutations committing mid-stream never disturb it.
 func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts ...QueryOption) iter.Seq2[Pair, error] {
+	return func(yield func(Pair, error) bool) {
+		v := db.pin()
+		defer db.unpin(v)
+		db.closestAt(v, ctx, dataset1, dataset2, opts...)(yield)
+	}
+}
+
+// closestAt is the stream body over an already-pinned version; the caller
+// owns the pin for the duration of the iteration.
+func (db *Database) closestAt(v *dbVersion, ctx context.Context, dataset1, dataset2 string, opts ...QueryOption) iter.Seq2[Pair, error] {
 	return func(yield func(Pair, error) bool) {
 		cfg := applyOptions(opts)
 		start := time.Now()
-		s, err := db.dataset(dataset1)
+		s, err := v.dataset(dataset1)
 		if err != nil {
 			yield(Pair{}, err)
 			return
 		}
-		t, err := db.dataset(dataset2)
+		t, err := v.dataset(dataset2)
 		if err != nil {
 			yield(Pair{}, err)
 			return
 		}
-		db.updateMu.RLock()
-		gen := db.generation()
-		sess := db.newSession(ctx)
+		sess := db.newSessionAt(ctx, v)
 		it, err := sess.ClosestPairIterator(s, t)
-		db.updateMu.RUnlock()
 		if err != nil {
 			yield(Pair{}, err)
 			return
@@ -118,14 +124,7 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 			db.record(VerbClosestStream, &cfg, sess, st, start, it.Err())
 		}()
 		for cfg.limit < 0 || emitted < cfg.limit {
-			db.updateMu.RLock()
-			if db.generation() != gen {
-				db.updateMu.RUnlock()
-				yield(Pair{}, ErrConcurrentUpdate)
-				return
-			}
 			jp, ok := it.Next()
-			db.updateMu.RUnlock()
 			if !ok {
 				if err := it.Err(); err != nil {
 					yield(Pair{}, err)
@@ -149,126 +148,126 @@ func (db *Database) Closest(ctx context.Context, dataset1, dataset2 string, opts
 // distance without a predeclared k.
 //
 // Deprecated: use Nearest, the range-over-func form. This wrapper drives
-// the same machinery with a background context.
+// the same machinery with a background context. It pins the generation
+// current when it was created until Stop or exhaustion — call Stop when
+// abandoning one early so its snapshot's pages can be reclaimed.
 type NearestIterator struct {
-	db    *Database
-	gen   uint64
-	inner *core.NNIterator
-	err   error
+	db       *Database
+	v        *dbVersion
+	inner    *core.NNIterator
+	released bool
 }
 
 // NearestIterator starts an incremental nearest-neighbor search on the
-// dataset around q.
+// dataset around q. The iterator reads the generation current at this call:
+// later mutations are invisible to it and never interrupt it.
 //
 // Deprecated: use Nearest.
 func (db *Database) NearestIterator(dataset string, q Point) (*NearestIterator, error) {
-	ps, err := db.dataset(dataset)
+	v := db.pin()
+	ps, err := v.dataset(dataset)
 	if err != nil {
+		db.unpin(v)
 		return nil, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(context.Background())
-	return &NearestIterator{db: db, gen: db.generation(), inner: sess.NearestIterator(ps, q)}, nil
+	sess := db.newSessionAt(context.Background(), v)
+	return &NearestIterator{db: db, v: v, inner: sess.NearestIterator(ps, q)}, nil
+}
+
+func (it *NearestIterator) release() {
+	if !it.released {
+		it.released = true
+		it.db.unpin(it.v)
+	}
 }
 
 // Next returns the next entity by obstructed distance; ok is false when the
 // dataset is exhausted or an error occurred (check Err).
 func (it *NearestIterator) Next() (Neighbor, bool) {
-	if it.err != nil {
-		return Neighbor{}, false
-	}
-	it.db.updateMu.RLock()
-	defer it.db.updateMu.RUnlock()
-	if it.db.generation() != it.gen {
-		it.err = ErrConcurrentUpdate
-		it.inner.Stop()
-		return Neighbor{}, false
-	}
 	r, ok := it.inner.Next()
 	if !ok {
+		it.release()
 		return Neighbor{}, false
 	}
 	return Neighbor{ID: r.ID, Point: r.Pt, Distance: r.Dist}, true
 }
 
-// Err returns the first error encountered, if any (ErrConcurrentUpdate when
-// a mutation committed mid-iteration).
-func (it *NearestIterator) Err() error {
-	if it.err != nil {
-		return it.err
-	}
-	return it.inner.Err()
-}
+// Err returns the first error encountered, if any.
+func (it *NearestIterator) Err() error { return it.inner.Err() }
 
-// Stop publishes an abandoned iterator's work to the engine's cumulative
-// counters; exhausting the iterator does the same automatically.
-func (it *NearestIterator) Stop() { it.inner.Stop() }
+// Stop releases the iterator's pinned snapshot and publishes an abandoned
+// iterator's work to the engine's cumulative counters; exhausting the
+// iterator does the same automatically.
+func (it *NearestIterator) Stop() {
+	it.inner.Stop()
+	it.release()
+}
 
 // ClosestPairIterator reports pairs in ascending order of obstructed
 // distance without a predeclared k.
 //
 // Deprecated: use Closest, the range-over-func form. This wrapper drives
-// the same machinery with a background context.
+// the same machinery with a background context. It pins the generation
+// current when it was created until Stop or exhaustion — call Stop when
+// abandoning one early so its snapshot's pages can be reclaimed.
 type ClosestPairIterator struct {
-	db    *Database
-	gen   uint64
-	inner *core.CPIterator
-	err   error
+	db       *Database
+	v        *dbVersion
+	inner    *core.CPIterator
+	released bool
 }
 
 // ClosestPairIterator starts an incremental closest-pair search between the
-// two datasets.
+// two datasets. The iterator reads the generation current at this call:
+// later mutations are invisible to it and never interrupt it.
 //
 // Deprecated: use Closest.
 func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPairIterator, error) {
-	s, err := db.dataset(dataset1)
+	v := db.pin()
+	s, err := v.dataset(dataset1)
 	if err != nil {
+		db.unpin(v)
 		return nil, err
 	}
-	t, err := db.dataset(dataset2)
+	t, err := v.dataset(dataset2)
 	if err != nil {
+		db.unpin(v)
 		return nil, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.engine.NewSession(context.Background())
+	sess := db.newSessionAt(context.Background(), v)
 	inner, err := sess.ClosestPairIterator(s, t)
 	if err != nil {
+		db.unpin(v)
 		return nil, err
 	}
-	return &ClosestPairIterator{db: db, gen: db.generation(), inner: inner}, nil
+	return &ClosestPairIterator{db: db, v: v, inner: inner}, nil
+}
+
+func (it *ClosestPairIterator) release() {
+	if !it.released {
+		it.released = true
+		it.db.unpin(it.v)
+	}
 }
 
 // Next returns the next pair by obstructed distance; ok is false when the
 // pairs are exhausted or an error occurred (check Err).
 func (it *ClosestPairIterator) Next() (Pair, bool) {
-	if it.err != nil {
-		return Pair{}, false
-	}
-	it.db.updateMu.RLock()
-	defer it.db.updateMu.RUnlock()
-	if it.db.generation() != it.gen {
-		it.err = ErrConcurrentUpdate
-		it.inner.Stop()
-		return Pair{}, false
-	}
 	p, ok := it.inner.Next()
 	if !ok {
+		it.release()
 		return Pair{}, false
 	}
 	return Pair{ID1: p.SID, ID2: p.TID, Distance: p.Dist}, true
 }
 
-// Err returns the first error encountered, if any (ErrConcurrentUpdate when
-// a mutation committed mid-iteration).
-func (it *ClosestPairIterator) Err() error {
-	if it.err != nil {
-		return it.err
-	}
-	return it.inner.Err()
-}
+// Err returns the first error encountered, if any.
+func (it *ClosestPairIterator) Err() error { return it.inner.Err() }
 
-// Stop publishes an abandoned iterator's work to the engine's cumulative
-// counters; exhausting the iterator does the same automatically.
-func (it *ClosestPairIterator) Stop() { it.inner.Stop() }
+// Stop releases the iterator's pinned snapshot and publishes an abandoned
+// iterator's work to the engine's cumulative counters; exhausting the
+// iterator does the same automatically.
+func (it *ClosestPairIterator) Stop() {
+	it.inner.Stop()
+	it.release()
+}

@@ -144,6 +144,18 @@ func newDBMetrics(db *Database) *dbMetrics {
 		return db.engine.GraphCacheStats().HitRate()
 	})
 
+	// MVCC read path: open snapshot handles, retired pages pinned by them,
+	// and the copy-on-write page relocations mutators performed.
+	reg.GaugeFunc("obstacles_snapshots_open", "Explicit Snapshot handles currently open.", func() float64 {
+		db.versions.mu.Lock()
+		defer db.versions.mu.Unlock()
+		return float64(db.versions.snapshots)
+	})
+	reg.GaugeFunc("obstacles_snapshot_pinned_pages", "Retired pages whose free is deferred because a pinned generation can still read them.", func() float64 {
+		return float64(db.versions.pinnedPages())
+	})
+	reg.CounterFunc("obstacles_cow_page_copies_total", "Tree pages relocated by copy-on-write mutations.", db.cowCopies)
+
 	// Durable commit path.
 	m.commits = reg.Counter("obstacles_commits_total", "Durable commits acknowledged.")
 	m.fsyncs = reg.Counter("obstacles_wal_fsyncs_total", "WAL fsyncs issued by the commit path.")
@@ -196,15 +208,26 @@ func newDBMetrics(db *Database) *dbMetrics {
 	return m
 }
 
-// newSession starts a query session, attaching a lifecycle trace when the
-// slow-query log is enabled so an over-threshold query can be logged with
-// its full stage breakdown.
-func (db *Database) newSession(ctx context.Context) *core.Session {
-	sess := db.engine.NewSession(ctx)
+// newSessionAt starts a query session reading the given pinned version,
+// attaching a lifecycle trace when the slow-query log is enabled so an
+// over-threshold query can be logged with its full stage breakdown.
+func (db *Database) newSessionAt(ctx context.Context, v *dbVersion) *core.Session {
+	sess := db.engine.NewSessionAt(ctx, v.obst)
 	if db.opts.SlowQueryThreshold > 0 {
 		sess.SetTrace(telemetry.NewTrace())
 	}
 	return sess
+}
+
+// cowCopies sums the copy-on-write page relocations across every tree.
+func (db *Database) cowCopies() uint64 {
+	total := db.obstSet.Tree().COWCopies()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, ps := range db.datasets {
+		total += ps.Tree().COWCopies()
+	}
+	return total
 }
 
 // record is the single exit point of every query verb: it fills the
@@ -325,8 +348,19 @@ type Metrics struct {
 	Mutations map[string]uint64
 	// Cache is the visibility-graph cache's traffic.
 	Cache CacheStats
+	// MVCC describes the multi-version read path.
+	MVCC MVCCMetrics
 	// Commit describes the durable commit path (zero value in memory).
 	Commit CommitMetrics
+}
+
+// MVCCMetrics summarizes the multi-version read path: open explicit
+// snapshots, retired pages their pins keep alive, and copy-on-write page
+// relocations performed by mutators since open.
+type MVCCMetrics struct {
+	SnapshotsOpen int
+	PinnedPages   int
+	COWPageCopies uint64
 }
 
 // TelemetryRegistry returns the database's instrument registry — the one
@@ -359,6 +393,11 @@ func (db *Database) Metrics() Metrics {
 		Mutations:        make(map[string]uint64, len(mutationOps)),
 		Cache:            db.GraphCacheStats(),
 	}
+	db.versions.mu.Lock()
+	out.MVCC.SnapshotsOpen = db.versions.snapshots
+	db.versions.mu.Unlock()
+	out.MVCC.PinnedPages = db.versions.pinnedPages()
+	out.MVCC.COWPageCopies = db.cowCopies()
 	for _, verb := range queryVerbs {
 		vm := m.verbs[verb]
 		out.Queries[verb] = VerbMetrics{

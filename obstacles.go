@@ -168,13 +168,16 @@ type TreeStats struct {
 	Pages int
 }
 
-// ErrConcurrentUpdate is reported by incremental streams (Nearest, Closest,
-// and the deprecated iterator wrappers) whose underlying data was mutated
-// mid-stream by InsertPoints, DeletePoints, AddObstacles or RemoveObstacles.
-// One-shot query verbs never return it: they hold the database's update
-// read-lock for their whole call, so writers wait and every one-shot query
-// sees a consistent snapshot. A stream that fails this way should simply be
-// restarted against the updated database.
+// ErrConcurrentUpdate was reported by incremental streams overtaken by a
+// mutation before the database became multi-versioned. Every read path —
+// one-shot verbs, Nearest/Closest streams, and the deprecated iterator
+// wrappers — now pins a consistent snapshot generation at start and is never
+// invalidated by concurrent InsertPoints, DeletePoints, AddObstacles or
+// RemoveObstacles.
+//
+// Deprecated: no API returns this error anymore. It remains exported only so
+// code written against the pre-MVCC contract (errors.Is checks on stream
+// errors) keeps compiling; such checks can simply be deleted.
 var ErrConcurrentUpdate = errors.New("obstacles: concurrent update invalidated this query")
 
 // Database holds one obstacle set and any number of named point datasets,
@@ -187,12 +190,13 @@ var ErrConcurrentUpdate = errors.New("obstacles: concurrent update invalidated t
 // WithFilter, WithPairFilter).
 //
 // Points and obstacles can be mutated in place (InsertPoints, DeletePoints,
-// AddObstacles, RemoveObstacles). Mutations serialize on an update lock
-// whose read side every query holds: a mutation waits for in-flight queries
-// to drain, commits atomically, and only then admits new queries, so
-// one-shot verbs always see the state entirely before or entirely after any
-// update. Incremental streams do not pin the database between pulls; a
-// stream overtaken by a mutation fails with ErrConcurrentUpdate.
+// AddObstacles, RemoveObstacles). The database is multi-versioned: mutators
+// copy-on-write only the pages they touch and publish a new immutable
+// generation atomically, so readers never block writers and writers never
+// wait for readers to drain. Every read — a one-shot verb, a Nearest/Closest
+// stream, or an explicit Snapshot handle — pins the generation current when
+// it starts and answers from it alone, entirely before or entirely after any
+// update, for as long as it runs.
 type Database struct {
 	opts    Options
 	engine  *core.Engine
@@ -201,12 +205,18 @@ type Database struct {
 	mu       sync.RWMutex
 	datasets map[string]*core.PointSet
 
-	// updateMu orders mutations against queries: every query verb holds the
-	// read side for its whole call; mutators hold the write side.
+	// updateMu serializes mutators (and the checkpointer, and deferred page
+	// frees) against each other. Queries do not take it: the read path pins
+	// an immutable published version instead.
 	updateMu sync.RWMutex
-	// gen counts committed mutations; streams compare it per pull to detect
-	// updates that happened since they started.
+	// gen counts committed mutations; each published version carries the
+	// value at its publish.
 	gen atomic.Uint64
+
+	// versions is the multi-version read head: the current published
+	// version, the refcounts of pinned generations, and COW pages whose
+	// free is deferred until the snapshots that can still read them close.
+	versions versionTable
 
 	// store is the durable backend (nil for in-memory databases built by
 	// NewDatabase). When set, every mutator commits through the write-ahead
@@ -218,6 +228,182 @@ type Database struct {
 	// Options.DebugAddr is set.
 	tel   *dbMetrics
 	debug *debugServer
+}
+
+// dbVersion is one immutable published generation: sealed views of the
+// obstacle set and every dataset, sharing all untouched pages with newer
+// generations. Readers holding a pin on it answer from these views alone.
+type dbVersion struct {
+	gen      uint64
+	obst     *core.ObstacleSet
+	datasets map[string]*core.PointSet
+}
+
+// dataset resolves a sealed dataset view by name.
+func (v *dbVersion) dataset(name string) (*core.PointSet, error) {
+	ps, ok := v.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("obstacles: unknown dataset %q", name)
+	}
+	return ps, nil
+}
+
+// pendingFree is a batch of COW-retired pages that cannot be freed yet: a
+// reader pinned to a generation older than limit may still walk them. They
+// free once every pin older than limit releases.
+type pendingFree struct {
+	limit uint64
+	pf    *pagefile.File
+	ids   []pagefile.PageID
+}
+
+// versionTable is the refcounted generation table behind the read head.
+type versionTable struct {
+	mu      sync.Mutex
+	current *dbVersion
+	// pins counts open readers per pinned generation.
+	pins map[uint64]int
+	// snapshots counts open explicit Snapshot handles (a subset of the
+	// pins), reported by the obstacles_snapshots_open gauge.
+	snapshots int
+	// pending holds retired pages awaiting the release of older pins.
+	pending []pendingFree
+}
+
+// minPinLocked returns the oldest pinned generation (max uint64 when no
+// reader is pinned). Caller holds vt.mu.
+func (vt *versionTable) minPinLocked() uint64 {
+	min := ^uint64(0)
+	for g := range vt.pins {
+		if g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+// takeFreeableLocked removes and returns every pending batch no live pin can
+// still read. Caller holds vt.mu.
+func (vt *versionTable) takeFreeableLocked() []pendingFree {
+	minPin := vt.minPinLocked()
+	var frees []pendingFree
+	kept := vt.pending[:0]
+	for _, p := range vt.pending {
+		if p.limit <= minPin {
+			frees = append(frees, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(vt.pending); i++ {
+		vt.pending[i] = pendingFree{}
+	}
+	vt.pending = kept
+	return frees
+}
+
+// pinnedPages returns the number of retired pages kept alive for open pins
+// (the obstacles_snapshot_pinned_pages gauge).
+func (vt *versionTable) pinnedPages() int {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	n := 0
+	for _, p := range vt.pending {
+		n += len(p.ids)
+	}
+	return n
+}
+
+// pin returns the current version with a pin held on its generation; the
+// caller must db.unpin(v) when done reading.
+func (db *Database) pin() *dbVersion {
+	vt := &db.versions
+	vt.mu.Lock()
+	v := vt.current
+	vt.pins[v.gen]++
+	vt.mu.Unlock()
+	return v
+}
+
+// unpin releases a pin taken by pin. When the release unblocks deferred
+// page frees (the last reader of an old generation closing), they are
+// processed here, under the update lock, so they ride the next commit.
+func (db *Database) unpin(v *dbVersion) {
+	vt := &db.versions
+	vt.mu.Lock()
+	if vt.pins[v.gen]--; vt.pins[v.gen] <= 0 {
+		delete(vt.pins, v.gen)
+	}
+	frees := vt.takeFreeableLocked()
+	vt.mu.Unlock()
+	if len(frees) == 0 {
+		return
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	freeBatches(frees)
+}
+
+func freeBatches(frees []pendingFree) {
+	for _, p := range frees {
+		for _, id := range p.ids {
+			// Free only fails on ids the file never allocated; retired ids
+			// came straight from the tree's allocator.
+			_ = p.pf.Free(id)
+		}
+	}
+}
+
+// currentVersion returns the published read head without pinning it — for
+// pure in-memory reads (counts, names) that touch no tree pages.
+func (db *Database) currentVersion() *dbVersion {
+	vt := &db.versions
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	return vt.current
+}
+
+// initVersions switches every live set to copy-on-write mutation and
+// publishes the initial version. Called once construction (or durable
+// attach) completes, before the database is handed out.
+func (db *Database) initVersions() {
+	db.versions.pins = make(map[uint64]int)
+	db.obstSet.EnableCOW()
+	for _, ps := range db.datasets {
+		ps.EnableCOW()
+	}
+	db.publishVersion()
+}
+
+// publishVersion seals the mutated state into a new immutable version and
+// installs it as the read head. COW pages the mutation retired are freed at
+// once when no older reader is pinned, and deferred into the version table
+// otherwise. Runs under updateMu (deferred by every mutator, after the
+// generation bump and before the commit is staged, so frees reach the same
+// commit delta as the mutation).
+func (db *Database) publishVersion() {
+	db.mu.RLock()
+	ds := make(map[string]*core.PointSet, len(db.datasets))
+	trees := make([]*rtree.Tree, 0, len(db.datasets)+1)
+	for name, ps := range db.datasets {
+		ds[name] = ps.Seal()
+		trees = append(trees, ps.Tree())
+	}
+	db.mu.RUnlock()
+	trees = append(trees, db.obstSet.Tree())
+	v := &dbVersion{gen: db.gen.Load(), obst: db.obstSet.Seal(), datasets: ds}
+	vt := &db.versions
+	vt.mu.Lock()
+	vt.current = v
+	for _, t := range trees {
+		ids := t.TakeRetired()
+		if len(ids) > 0 {
+			vt.pending = append(vt.pending, pendingFree{limit: v.gen, pf: t.PageFile(), ids: ids})
+		}
+	}
+	frees := vt.takeFreeableLocked()
+	vt.mu.Unlock()
+	freeBatches(frees) // already under updateMu
 }
 
 // ErrInvalidPolygon is the typed error wrapped by AddObstacles and
@@ -269,6 +455,7 @@ func NewDatabase(polys []Polygon, opts Options) (*Database, error) {
 		obstSet:  obstSet,
 		datasets: make(map[string]*core.PointSet),
 	}
+	db.initVersions()
 	db.tel = newDBMetrics(db)
 	if err := db.startDebug(); err != nil {
 		return nil, err
@@ -313,10 +500,10 @@ func (db *Database) treeOptions() rtree.Options {
 // AddDataset indexes a named point dataset. Entity i gets ID int64(i);
 // later InsertPoints/DeletePoints calls may make the id space sparse and
 // reuse freed ids. For an in-memory database the dataset is built outside
-// any lock and becomes visible to queries atomically once indexing
-// completes; queries on other datasets proceed concurrently. A durable
-// database (Open) instead serializes the build with queries, so the pages
-// it allocates commit atomically with the catalog record that names them.
+// any lock and becomes visible to queries atomically when the new version
+// publishes; queries proceed concurrently throughout. A durable database
+// (Open) instead serializes the build with other mutators, so the pages it
+// allocates commit atomically with the catalog record that names them.
 func (db *Database) AddDataset(name string, pts []Point) (err error) {
 	defer db.countMutation(OpAddDataset, &err)
 	db.mu.RLock()
@@ -333,12 +520,18 @@ func (db *Database) AddDataset(name string, pts []Point) (err error) {
 		return fmt.Errorf("obstacles: building dataset %q: %w", name, err)
 	}
 	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, exists := db.datasets[name]; exists {
+		db.mu.Unlock()
 		return fmt.Errorf("obstacles: dataset %q already exists", name)
 	}
+	ps.EnableCOW()
 	db.datasets[name] = ps
+	db.mu.Unlock()
+	db.gen.Add(1)
+	db.publishVersion()
 	return nil
 }
 
@@ -373,9 +566,12 @@ func (db *Database) addDatasetDurable(name string, pts []Point) (err error) {
 	}
 	sizeBuffer(ps.Tree(), db.opts.BufferFraction)
 	db.mu.Lock()
+	ps.EnableCOW()
 	db.datasets[name] = ps
 	db.mu.Unlock()
 	db.noteDatasetDirty(name)
+	db.gen.Add(1)
+	db.publishVersion()
 	db.stageCommit(&err, &tk, false)
 	return err
 }
@@ -394,9 +590,7 @@ func (db *Database) Datasets() []string {
 
 // NumObstacles returns the live obstacle count.
 func (db *Database) NumObstacles() int {
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	return db.obstSet.Len()
+	return db.currentVersion().obst.Len()
 }
 
 // HasDataset reports whether a dataset with the given name exists.
@@ -410,12 +604,10 @@ func (db *Database) HasDataset(name string) bool {
 // DatasetLen returns the number of entities in a dataset. Unlike the old
 // API, an unknown name is an error rather than a silent zero.
 func (db *Database) DatasetLen(name string) (int, error) {
-	ps, err := db.dataset(name)
+	ps, err := db.currentVersion().dataset(name)
 	if err != nil {
 		return 0, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
 	return ps.Len(), nil
 }
 
@@ -429,19 +621,17 @@ func (db *Database) dataset(name string) (*core.PointSet, error) {
 	return ps, nil
 }
 
-// generation returns the number of mutations committed so far.
-func (db *Database) generation() uint64 { return db.gen.Load() }
-
 // InsertPoints adds entities to an existing dataset and returns their
 // assigned ids. Ids freed by DeletePoints are reused before the id space
 // grows, so sustained churn keeps ids (and the page file) bounded. The
-// insert waits for in-flight queries to drain, commits atomically, and
-// fails any incremental stream still open with ErrConcurrentUpdate. Point
-// changes never invalidate cached visibility graphs: graphs hold obstacle
-// geometry only. On a durable database the insert reaches the write-ahead
-// log (fsynced) before returning; concurrent mutators stage their commits
-// while holding the update lock but share fsyncs after releasing it, so N
-// parallel inserts cost far fewer than N fsyncs (see Open).
+// insert copies only the tree pages it touches and publishes a new version
+// atomically: in-flight queries and open streams keep answering from the
+// generation they pinned, unaffected. Point changes never invalidate cached
+// visibility graphs: graphs hold obstacle geometry only. On a durable
+// database the insert reaches the write-ahead log (fsynced) before
+// returning; concurrent mutators stage their commits while holding the
+// update lock but share fsyncs after releasing it, so N parallel inserts
+// cost far fewer than N fsyncs (see Open).
 func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
@@ -456,7 +646,9 @@ func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err er
 	defer db.awaitCommit(&err, &tk)              // runs after the unlock: parks on the shared fsync
 	defer db.updateMu.Unlock()
 	defer db.stageCommit(&err, &tk, false)
+	defer db.publishVersion()
 	defer db.gen.Add(1)
+	ps.BeginEpoch()
 	db.noteDatasetDirty(name)
 	ids, err = ps.Insert(pts)
 	if err != nil {
@@ -494,7 +686,9 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 		seen[id] = true
 	}
 	defer db.stageCommit(&err, &tk, false)
+	defer db.publishVersion()
 	defer db.gen.Add(1)
+	ps.BeginEpoch()
 	db.noteDatasetDirty(name)
 	for _, id := range ids {
 		if err := ps.Delete(id); err != nil {
@@ -508,11 +702,12 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 // AddObstacles indexes new obstacles and returns their assigned ids (ids
 // freed by RemoveObstacles are reused). Degenerate polygons — fewer than
 // three vertices or a collinear (zero-area) outline — are rejected up
-// front with ErrInvalidPolygon and no partial effect. The update waits for
-// in-flight queries to drain, then drops exactly the cached visibility
-// graphs whose coverage disk intersects a new obstacle's MBR — graphs
-// elsewhere keep serving queries, which is what makes on-line graph
-// construction pay off under update workloads.
+// front with ErrInvalidPolygon and no partial effect. The update never
+// waits for queries: it copies only the pages it touches, bounds the
+// validity of exactly the cached visibility graphs whose coverage disk
+// intersects a new obstacle's MBR to the old epoch (in-flight queries
+// pinned there keep using them; new queries rebuild), and publishes the
+// new obstacle set atomically.
 func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 	if err := validatePolygons(polys); err != nil {
 		return nil, err
@@ -526,7 +721,9 @@ func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
 	defer db.stageCommit(&err, &tk, true)
+	defer db.publishVersion()
 	defer db.gen.Add(1)
+	db.obstSet.BeginEpoch()
 	ids, err = db.obstSet.Add(polys)
 	for _, id := range ids {
 		pg := db.obstSet.Polygon(id)
@@ -556,7 +753,8 @@ func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
 // RemoveObstacles deletes obstacles by id (initial obstacles are numbered in
 // NewDatabase order; AddObstacles returns the ids it assigned). All ids are
 // validated before any is removed. Cached visibility graphs covering a
-// removed obstacle's MBR are dropped; the rest survive.
+// removed obstacle's MBR are epoch-bounded (stale for new queries, still
+// valid for readers pinned to older generations); the rest survive.
 func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 	if len(ids) == 0 {
 		return nil
@@ -577,7 +775,9 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 		seen[id] = true
 	}
 	defer db.stageCommit(&err, &tk, true)
+	defer db.publishVersion()
 	defer db.gen.Add(1)
+	db.obstSet.BeginEpoch()
 	for _, id := range ids {
 		mbr, err := db.obstSet.Remove(id)
 		if err != nil {
@@ -596,25 +796,32 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 type CacheStats = core.CacheStats
 
 // GraphCacheStats returns the engine's graph-cache counters. Invalidations
-// counts cached graphs dropped because an obstacle update touched their
-// coverage disk — the observable cost of AddObstacles/RemoveObstacles
-// beyond the R-tree writes.
+// counts cached graphs whose validity an obstacle update epoch-bounded
+// because it touched their coverage disk (they keep serving readers pinned
+// to older generations until the LRU ages them out) — the observable cost
+// of AddObstacles/RemoveObstacles beyond the R-tree writes.
 func (db *Database) GraphCacheStats() CacheStats {
 	return db.engine.GraphCacheStats()
 }
 
 // Range returns all entities of the dataset within obstructed distance
-// radius of q, sorted by distance (the OR algorithm of the paper).
+// radius of q, sorted by distance (the OR algorithm of the paper). Like
+// every query verb, it pins the current generation for its whole call, so
+// concurrent mutations neither block it nor change its answer.
 func (db *Database) Range(ctx context.Context, dataset string, q Point, radius float64, opts ...QueryOption) ([]Neighbor, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.rangeAt(v, ctx, dataset, q, radius, opts...)
+}
+
+func (db *Database) rangeAt(v *dbVersion, ctx context.Context, dataset string, q Point, radius float64, opts ...QueryOption) ([]Neighbor, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	ps, err := db.dataset(dataset)
+	ps, err := v.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	res, st, err := sess.Range(ps, q, radius)
 	db.record(VerbRange, &cfg, sess, st, start, err)
 	if err != nil {
@@ -628,18 +835,22 @@ func (db *Database) Range(ctx context.Context, dataset string, q Point, radius f
 // WithFilter, the k closest entities satisfying the predicate are found by
 // consuming the incremental stream instead.
 func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Point, k int, opts ...QueryOption) ([]Neighbor, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.nearestNeighborsAt(v, ctx, dataset, q, k, opts...)
+}
+
+func (db *Database) nearestNeighborsAt(v *dbVersion, ctx context.Context, dataset string, q Point, k int, opts ...QueryOption) ([]Neighbor, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	ps, err := db.dataset(dataset)
+	ps, err := v.dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	if cfg.filter == nil {
 		res, st, err := sess.NearestNeighbors(ps, q, k)
 		db.record(VerbNearestNeighbors, &cfg, sess, st, start, err)
@@ -690,19 +901,23 @@ func (db *Database) NearestNeighbors(ctx context.Context, dataset string, q Poin
 // obstructed distance dist of each other, sorted by distance (the ODJ
 // algorithm).
 func (db *Database) DistanceJoin(ctx context.Context, dataset1, dataset2 string, dist float64, opts ...QueryOption) ([]Pair, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.distanceJoinAt(v, ctx, dataset1, dataset2, dist, opts...)
+}
+
+func (db *Database) distanceJoinAt(v *dbVersion, ctx context.Context, dataset1, dataset2 string, dist float64, opts ...QueryOption) ([]Pair, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	s, err := db.dataset(dataset1)
+	s, err := v.dataset(dataset1)
 	if err != nil {
 		return nil, err
 	}
-	t, err := db.dataset(dataset2)
+	t, err := v.dataset(dataset2)
 	if err != nil {
 		return nil, err
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	res, st, err := sess.DistanceJoin(s, t, dist)
 	db.record(VerbDistanceJoin, &cfg, sess, st, start, err)
 	if err != nil {
@@ -716,22 +931,26 @@ func (db *Database) DistanceJoin(ctx context.Context, dataset1, dataset2 string,
 // WithPairFilter, the k closest qualifying pairs are found by consuming the
 // incremental iOCP stream instead.
 func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string, k int, opts ...QueryOption) ([]Pair, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.closestPairsAt(v, ctx, dataset1, dataset2, k, opts...)
+}
+
+func (db *Database) closestPairsAt(v *dbVersion, ctx context.Context, dataset1, dataset2 string, k int, opts ...QueryOption) ([]Pair, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	s, err := db.dataset(dataset1)
+	s, err := v.dataset(dataset1)
 	if err != nil {
 		return nil, err
 	}
-	t, err := db.dataset(dataset2)
+	t, err := v.dataset(dataset2)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	if cfg.pairFilter == nil {
 		res, st, err := sess.ClosestPairs(s, t, k)
 		db.record(VerbClosestPairs, &cfg, sess, st, start, err)
@@ -772,11 +991,15 @@ func (db *Database) ClosestPairs(ctx context.Context, dataset1, dataset2 string,
 // ObstructedDistance returns the length of the shortest obstacle-avoiding
 // path from a to b (Unreachable when none exists).
 func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...QueryOption) (float64, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.obstructedDistanceAt(v, ctx, a, b, opts...)
+}
+
+func (db *Database) obstructedDistanceAt(v *dbVersion, ctx context.Context, a, b Point, opts ...QueryOption) (float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	d, st, err := sess.ObstructedDistance(a, b)
 	db.record(VerbObstructedDistance, &cfg, sess, st, start, err)
 	return d, err
@@ -787,11 +1010,15 @@ func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...
 // corners) and its total length. The path is nil and the length Unreachable
 // when no route exists.
 func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...QueryOption) ([]Point, float64, error) {
+	v := db.pin()
+	defer db.unpin(v)
+	return db.obstructedPathAt(v, ctx, a, b, opts...)
+}
+
+func (db *Database) obstructedPathAt(v *dbVersion, ctx context.Context, a, b Point, opts ...QueryOption) ([]Point, float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	sess := db.newSession(ctx)
+	sess := db.newSessionAt(ctx, v)
 	path, d, st, err := sess.ObstructedPath(a, b)
 	db.record(VerbObstructedPath, &cfg, sess, st, start, err)
 	return path, d, err
@@ -801,9 +1028,14 @@ func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...Quer
 // points can reach nothing: queries from them return no results and their
 // distances are Unreachable.
 func (db *Database) InsideObstacle(p Point) (bool, error) {
-	db.updateMu.RLock()
-	defer db.updateMu.RUnlock()
-	return db.engine.InsideObstacle(p)
+	v := db.pin()
+	defer db.unpin(v)
+	return db.insideObstacleAt(v, p)
+}
+
+func (db *Database) insideObstacleAt(v *dbVersion, p Point) (bool, error) {
+	sess := db.newSessionAt(context.Background(), v)
+	return sess.InsideObstacle(p)
 }
 
 // ObstacleTreeStats returns the I/O counters of the obstacle R-tree

@@ -365,6 +365,7 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		sizeBuffer(tree, opts.BufferFraction)
 		db.datasets[ds.Name] = set
 	}
+	db.initVersions()
 	seq := sb.Seq
 	if lastSeq > seq {
 		seq = lastSeq
@@ -1056,7 +1057,10 @@ func (db *Database) datasetMetas() []catalog.DatasetMeta {
 
 // encodeObstacles serializes the live obstacle polygons and tree location.
 func (db *Database) encodeObstacles() []byte {
-	o := db.obstSet
+	return encodeObstacleSet(db.obstSet)
+}
+
+func encodeObstacleSet(o *core.ObstacleSet) []byte {
 	t := o.Tree()
 	polys := make(map[int64][]geom.Point)
 	for id := int64(0); id < o.IDBound(); id++ {

@@ -89,10 +89,10 @@ func WithLimit(n int) QueryOption {
 // closest entities that satisfy pred (evaluated on the incremental stream),
 // not a filtered subset of the unfiltered kNN set.
 //
-// pred must not call back into the Database: query verbs hold the
-// database's update read-lock while evaluating it, and a re-entrant query
-// can deadlock against a concurrent mutator waiting for the write side.
-// Precompute whatever the predicate needs, or capture plain data.
+// pred runs on the query's pinned generation; it may call back into the
+// Database (reads never block mutators), but such a re-entrant query reads
+// the then-current generation, not the outer query's pin — capture plain
+// data or use a Snapshot when the predicate needs a consistent view.
 func WithFilter(pred func(Neighbor) bool) QueryOption {
 	return func(c *queryConfig) { c.filter = pred }
 }

@@ -29,14 +29,16 @@
 // sequences: Nearest (entities by ascending obstructed distance) and
 // Closest (pairs, the iOCP algorithm).
 //
-// Points and obstacles mutate in place: InsertPoints/DeletePoints and
-// AddObstacles/RemoveObstacles update the R-trees directly, reusing freed
-// ids and pages so sustained churn stays bounded. Mutators wait for
-// in-flight queries to drain and commit atomically; one-shot verbs always
-// see a consistent snapshot, while an incremental stream overtaken by a
-// mutation fails with ErrConcurrentUpdate. Obstacle updates drop only the
-// cached visibility graphs whose coverage the change touches; point
-// updates never invalidate any graph.
+// Mutation is multi-versioned: InsertPoints/DeletePoints and
+// AddObstacles/RemoveObstacles copy only the R-tree pages they touch and
+// publish a new generation atomically, never waiting for readers. Every
+// read pins the generation current when it starts — one-shot verbs for one
+// call, Nearest/Closest streams for the whole iteration — so a mutation
+// committing mid-read neither disturbs the read nor appears in it.
+// Snapshot holds a generation open across calls, and Backup writes a
+// consistent copy of a durable database while it keeps serving. Obstacle
+// updates age out only the cached visibility graphs whose coverage the
+// change touches; point updates never invalidate any graph.
 //
 // Quick start:
 //

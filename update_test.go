@@ -1,7 +1,6 @@
 package obstacles
 
 import (
-	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -154,7 +153,13 @@ func TestAddRemoveObstacles(t *testing.T) {
 	}
 }
 
-func TestStreamsFailOnConcurrentUpdate(t *testing.T) {
+// TestStreamsSurviveConcurrentUpdate pins the MVCC read contract: a stream
+// started before a mutation commits finishes without error and yields
+// exactly the answer set of the generation it pinned — the mutation neither
+// interrupts it nor leaks into it — while a stream started afterwards sees
+// the new state. (Before multi-versioning, mutations failed open streams
+// with ErrConcurrentUpdate; that error is retired.)
+func TestStreamsSurviveConcurrentUpdate(t *testing.T) {
 	db := cityDB(t, DefaultOptions())
 	pts := []Point{Pt(5, 5), Pt(45, 5), Pt(95, 95), Pt(5, 95), Pt(45, 45)}
 	if err := db.AddDataset("p", pts); err != nil {
@@ -163,66 +168,129 @@ func TestStreamsFailOnConcurrentUpdate(t *testing.T) {
 	if err := db.AddDataset("q", pts); err != nil {
 		t.Fatal(err)
 	}
-
-	// Nearest: a mutation between pulls fails the stream.
-	n := 0
-	var got error
-	for _, err := range db.Nearest(ctx, "p", Pt(0, 0)) {
-		if err != nil {
-			got = err
-			break
+	q := Pt(0, 0)
+	sameNeighbors := func(label string, got, want []Neighbor) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d results, pinned generation has %d", label, len(got), len(want))
 		}
-		n++
-		if n == 1 {
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Distance-want[i].Distance) > 1e-12 {
+				t.Fatalf("%s result %d: got %+v, want %+v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	var want []Neighbor
+	for nb, err := range db.Nearest(ctx, "p", q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, nb)
+	}
+
+	// Nearest: point and obstacle mutations between pulls leave the stream
+	// on its pinned generation.
+	var got []Neighbor
+	var wallIDs []int64
+	for nb, err := range db.Nearest(ctx, "p", q) {
+		if err != nil {
+			t.Fatalf("Nearest after update: err = %v, want stream to survive", err)
+		}
+		got = append(got, nb)
+		if len(got) == 1 {
 			if _, err := db.InsertPoints("p", Pt(1, 1)); err != nil {
 				t.Fatal(err)
 			}
-		}
-	}
-	if !errors.Is(got, ErrConcurrentUpdate) {
-		t.Fatalf("Nearest after update: err = %v, want ErrConcurrentUpdate", got)
-	}
-	if n != 1 {
-		t.Fatalf("Nearest emitted %d before failing", n)
-	}
-
-	// Closest: an obstacle mutation fails the stream too.
-	got = nil
-	n = 0
-	for _, err := range db.Closest(ctx, "p", "q") {
-		if err != nil {
-			got = err
-			break
-		}
-		n++
-		if n == 1 {
-			if _, err := db.AddObstacleRects(R(70, 70, 75, 75)); err != nil {
+			if wallIDs, err = db.AddObstacleRects(R(70, 70, 75, 75)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
-	if !errors.Is(got, ErrConcurrentUpdate) {
-		t.Fatalf("Closest after update: err = %v, want ErrConcurrentUpdate", got)
+	sameNeighbors("Nearest across update", got, want)
+
+	// A stream started after the commit reads the new generation: the
+	// inserted entity appears.
+	got = got[:0]
+	for nb, err := range db.Nearest(ctx, "p", q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, nb)
+	}
+	if len(got) != len(want)+1 {
+		t.Fatalf("fresh stream sees %d entities, want %d", len(got), len(want)+1)
 	}
 
-	// Deprecated wrappers report it through Err().
-	it, err := db.NearestIterator("p", Pt(0, 0))
+	// Closest: an obstacle removal mid-stream does not disturb the pinned
+	// pair order either.
+	var wantPairs []Pair
+	for p, err := range db.Closest(ctx, "p", "q") {
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPairs = append(wantPairs, p)
+	}
+	var gotPairs []Pair
+	for p, err := range db.Closest(ctx, "p", "q") {
+		if err != nil {
+			t.Fatalf("Closest after update: err = %v, want stream to survive", err)
+		}
+		gotPairs = append(gotPairs, p)
+		if len(gotPairs) == 1 {
+			if err := db.RemoveObstacles(wallIDs...); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(gotPairs) != len(wantPairs) {
+		t.Fatalf("Closest across update: got %d pairs, pinned generation has %d", len(gotPairs), len(wantPairs))
+	}
+	for i := range gotPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("Closest pair %d: got %+v, want %+v", i, gotPairs[i], wantPairs[i])
+		}
+	}
+
+	// Deprecated wrappers pin at creation the same way.
+	want = want[:0]
+	for nb, err := range db.Nearest(ctx, "p", q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, nb)
+	}
+	it, err := db.NearestIterator("p", q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := it.Next(); !ok {
-		t.Fatal(it.Err())
+	got = got[:0]
+	mutated := false
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, nb)
+		if !mutated {
+			mutated = true
+			if _, err := db.InsertPoints("p", Pt(2, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
-	if err := db.RemoveObstacles(9); err != nil { // the obstacle added above
-		t.Fatal(err)
+	if err := it.Err(); err != nil {
+		t.Fatalf("wrapper Err = %v, want iterator to survive the update", err)
 	}
-	if _, ok := it.Next(); ok {
-		t.Fatal("iterator survived an update")
-	}
-	if !errors.Is(it.Err(), ErrConcurrentUpdate) {
-		t.Fatalf("wrapper Err = %v, want ErrConcurrentUpdate", it.Err())
-	}
+	sameNeighbors("NearestIterator across update", got, want)
 
+	wantPairs = wantPairs[:0]
+	for p, err := range db.Closest(ctx, "p", "q") {
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPairs = append(wantPairs, p)
+	}
 	cit, err := db.ClosestPairIterator("p", "q")
 	if err != nil {
 		t.Fatal(err)
@@ -233,11 +301,18 @@ func TestStreamsFailOnConcurrentUpdate(t *testing.T) {
 	if _, err := db.InsertPoints("q", Pt(2, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cit.Next(); ok {
-		t.Fatal("pair iterator survived an update")
+	n := 1
+	for {
+		if _, ok := cit.Next(); !ok {
+			break
+		}
+		n++
 	}
-	if !errors.Is(cit.Err(), ErrConcurrentUpdate) {
-		t.Fatalf("pair wrapper Err = %v, want ErrConcurrentUpdate", cit.Err())
+	if err := cit.Err(); err != nil {
+		t.Fatalf("pair wrapper Err = %v, want iterator to survive the update", err)
+	}
+	if n != len(wantPairs) {
+		t.Fatalf("pair wrapper emitted %d pairs, pinned generation has %d", n, len(wantPairs))
 	}
 }
 
