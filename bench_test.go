@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -472,11 +474,22 @@ func BenchmarkBatchDistances(b *testing.B) {
 }
 
 // clusterBench builds a public Database over a generated street world with
-// one entity dataset, for the clustering benchmarks.
+// one entity dataset, for the clustering and churn benchmarks.
+// OBS_TRACE_SAMPLE, when set, becomes Options.TraceSampleRate, so the
+// tracing-overhead protocol behind BENCH_trace.json is one env sweep over
+// the same benchmark.
 func clusterBench(b *testing.B, nObst, nPts int) (*obstacles.Database, float64) {
 	b.Helper()
 	world := dataset.Generate(dataset.DefaultConfig(9, nObst))
-	db, err := obstacles.NewDatabase(world.Polys, obstacles.DefaultOptions())
+	opts := obstacles.DefaultOptions()
+	if v := os.Getenv("OBS_TRACE_SAMPLE"); v != "" {
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			b.Fatalf("bad OBS_TRACE_SAMPLE %q: %v", v, err)
+		}
+		opts.TraceSampleRate = rate
+	}
+	db, err := obstacles.NewDatabase(world.Polys, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -154,7 +154,7 @@ func (db *Database) clusterAt(v *dbVersion, ctx context.Context, dataset string,
 	for i, id := range liveIDs {
 		idToIdx[id] = i
 	}
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbCluster)
 	var st core.Stats
 	oracle := sessionOracle{sess: sess, ps: ps, st: &st, liveIDs: liveIDs, idToIdx: idToIdx}
 	var res *cluster.Result
@@ -222,7 +222,7 @@ func (db *Database) ObstructedDistances(ctx context.Context, q Point, targets []
 func (db *Database) obstructedDistancesAt(v *dbVersion, ctx context.Context, q Point, targets []Point, opts ...QueryOption) ([]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbBatchDistances)
 	d, st, err := sess.BatchDistances(q, targets)
 	db.record(VerbBatchDistances, &cfg, sess, st, start, err)
 	return d, err
@@ -241,7 +241,7 @@ func (db *Database) DistanceMatrix(ctx context.Context, pts []Point, opts ...Que
 func (db *Database) distanceMatrixAt(v *dbVersion, ctx context.Context, pts []Point, opts ...QueryOption) ([][]float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbDistanceMatrix)
 	m, st, err := sess.DistanceMatrix(pts)
 	db.record(VerbDistanceMatrix, &cfg, sess, st, start, err)
 	return m, err

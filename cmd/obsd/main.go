@@ -16,11 +16,21 @@
 // in-memory street world — handy for benchmarks and demos.
 //
 // The API listener also exposes the database's observability endpoints —
-// /metrics (Prometheus text, engine obstacles_* series and daemon obsd_*
-// series in one registry), /debug/vars, /debug/pprof/ — so one scrape
-// target covers the whole process. GET /healthz reports "ok" or
-// "draining"; GET /v1/datasets lists the namespaces. Both bypass admission
-// control, so they answer even when the daemon is saturated.
+// /metrics (Prometheus text, engine obstacles_* series, Go runtime go_*
+// series and daemon obsd_* series in one registry), /debug/vars,
+// /debug/traces (flight recorder), /debug/active (in-flight requests),
+// /debug/pprof/ — so one scrape target covers the whole process. GET
+// /healthz reports "ok" or "draining"; GET /v1/datasets lists the
+// namespaces. Both bypass admission control, so they answer even when the
+// daemon is saturated.
+//
+// Tracing: every request runs under a trace and every response carries its
+// id in the Obs-Trace-Id header. A caller sending a W3C traceparent header
+// continues its own trace through the daemon. Failed and slow requests are
+// always retained by the flight recorder; normal requests are sampled at
+// -trace-sample. GET /debug/traces lists retained traces (filter with
+// ?verb=, ?min_dur=, cap with ?n=), /debug/traces/{id} returns one full
+// span tree, /debug/active shows what the daemon is doing right now.
 //
 // Request deadlines: clients append ?timeout=750ms (any Go duration) to a
 // verb URL; the deadline is clamped to -max-timeout and propagated into
@@ -39,8 +49,8 @@
 // execution. -no-coalesce turns both off.
 //
 // Request logging: -log-requests emits one structured JSON line to stderr
-// per request — route, dataset, status, duration, and whether the answer
-// rode a coalesced batch.
+// per request — route, dataset, status, duration, trace id, and whether the
+// answer rode a coalesced batch.
 //
 // Backup: POST /v1/admin/backup with {"path": "copy.obs"} writes a
 // consistent point-in-time copy of a durable database to a fresh file
@@ -86,6 +96,7 @@ func main() {
 		graphCache   = flag.Int("graph-cache", 0, "visibility-graph cache entries (0 = engine default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		logRequests  = flag.Bool("log-requests", false, "log one structured JSON line per request to stderr")
+		traceSample  = flag.Float64("trace-sample", 0.1, "probability a normal request's trace is retained (errors and slow always are)")
 	)
 	flag.Parse()
 	var reqLog *slog.Logger
@@ -98,15 +109,15 @@ func main() {
 			DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 			CoalesceCell: *coalesceCell, CoalesceMaxBatch: *coalesceBatch,
 			DisableCoalesce: *noCoalesce, RequestLogger: reqLog,
-		}, *graphCache, *drainTimeout); err != nil {
+		}, *graphCache, *traceSample, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "obsd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbPath, addr string, nObst, nEnts int, seed int64, name string,
-	cfg server.Config, graphCache int, drainTimeout time.Duration) error {
-	opts := obstacles.Options{GraphCacheSize: graphCache}
+	cfg server.Config, graphCache int, traceSample float64, drainTimeout time.Duration) error {
+	opts := obstacles.Options{GraphCacheSize: graphCache, TraceSampleRate: traceSample}
 	var (
 		db  *obstacles.Database
 		err error

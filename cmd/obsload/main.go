@@ -20,6 +20,14 @@
 // visibility-graph builds — so a coalescing-on vs -off comparison is one
 // flag flip (restart obsd with -no-coalesce).
 //
+// With -traces N, after the run obsload pulls the daemon's flight recorder
+// (/debug/traces) and prints the span trees of the N slowest retained
+// traces — per-stage timing (admission, coalescing, graph build, Dijkstra,
+// WAL append, fsync) for the worst requests of the run, straight from the
+// server. The daemon samples normal-tier traces (obsd -trace-sample), so
+// under low sampling the recorder may hold fewer than N; errors and slow
+// queries are always retained.
+//
 // -quick is a CI-sized preset (2 clients, 25 requests each); -json emits
 // the summary as one JSON object for scripts and BENCH files.
 package main
@@ -74,13 +82,14 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request ?timeout= (0 = server default)")
 		quick    = flag.Bool("quick", false, "CI preset: 2 clients, 25 requests each")
 		jsonOut  = flag.Bool("json", false, "emit the summary as JSON")
+		traces   = flag.Int("traces", 0, "after the run, print the N slowest retained trace trees")
 	)
 	flag.Parse()
 	if *quick {
 		*clients, *requests = 2, 25
 	}
 	if err := run(*addr, *clients, *requests, *duration, *verb, *name, *k, *radius,
-		*hotspots, *spread, *extent, *seed, *timeout, *jsonOut); err != nil {
+		*hotspots, *spread, *extent, *seed, *timeout, *jsonOut, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "obsload:", err)
 		os.Exit(1)
 	}
@@ -88,7 +97,7 @@ func main() {
 
 func run(addr string, clients, requests int, duration time.Duration, verb, name string,
 	k int, radius float64, hotspots int, spread float64, extent string, seed int64,
-	timeout time.Duration, jsonOut bool) error {
+	timeout time.Duration, jsonOut bool, traces int) error {
 	var minX, minY, maxX, maxY float64
 	if _, err := fmt.Sscanf(extent, "%f,%f,%f,%f", &minX, &minY, &maxX, &maxY); err != nil {
 		return fmt.Errorf("bad -extent %q: %v", extent, err)
@@ -235,7 +244,105 @@ func run(addr string, clients, requests int, duration time.Duration, verb, name 
 	fmt.Printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f\n", sum.P50ms, sum.P95ms, sum.P99ms)
 	fmt.Printf("coalescing: %d batches, %d rides; engine: %d graph builds, %d cache hits\n",
 		sum.CoalesceBatches, sum.CoalesceHits, sum.GraphBuilds, sum.GraphCacheHits)
+	if traces > 0 {
+		if err := printSlowest(base, traces); err != nil {
+			return fmt.Errorf("fetch traces: %w", err)
+		}
+	}
 	return nil
+}
+
+// traceSummary and spanNode mirror the flight recorder's JSON just enough
+// to rank and render; unknown fields are ignored.
+type traceSummary struct {
+	TraceID        string `json:"trace_id"`
+	Name           string `json:"name"`
+	DurationMicros int64  `json:"duration_us"`
+	Tier           string `json:"tier"`
+	NumSpans       int    `json:"num_spans"`
+}
+
+type traceTree struct {
+	TraceID        string      `json:"trace_id"`
+	Name           string      `json:"name"`
+	DurationMicros int64       `json:"duration_us"`
+	Tier           string      `json:"tier"`
+	Spans          []*spanNode `json:"spans"`
+}
+
+type spanNode struct {
+	Name           string         `json:"name"`
+	StartMicros    int64          `json:"start_us"`
+	DurationMicros int64          `json:"duration_us"`
+	Attrs          map[string]any `json:"attrs"`
+	Links          []string       `json:"links"`
+	Children       []*spanNode    `json:"children"`
+}
+
+// printSlowest lists the recorder's retained traces, ranks them by root
+// duration, and prints the n slowest as indented span trees.
+func printSlowest(base string, n int) error {
+	var list []traceSummary
+	if err := getJSON(base+"/debug/traces", &list); err != nil {
+		return err
+	}
+	if len(list) == 0 {
+		fmt.Println("\nno traces retained (is obsd running with -trace-sample > 0?)")
+		return nil
+	}
+	sort.Slice(list, func(i, j int) bool {
+		return list[i].DurationMicros > list[j].DurationMicros
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	fmt.Printf("\nslowest %d of %d retained traces:\n", len(list), n)
+	for _, s := range list {
+		var tree traceTree
+		if err := getJSON(base+"/debug/traces/"+s.TraceID, &tree); err != nil {
+			return err
+		}
+		fmt.Printf("\n%s %s %.2fms (%s, %d spans)\n",
+			tree.TraceID, tree.Name, float64(tree.DurationMicros)/1000, s.Tier, s.NumSpans)
+		for _, sp := range tree.Spans {
+			printSpan(sp, 1)
+		}
+	}
+	return nil
+}
+
+func printSpan(sp *spanNode, depth int) {
+	fmt.Printf("%s%s @%.2fms +%.2fms", strings.Repeat("  ", depth), sp.Name,
+		float64(sp.StartMicros)/1000, float64(sp.DurationMicros)/1000)
+	if len(sp.Attrs) > 0 {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf(" %s=%v", k, sp.Attrs[k])
+		}
+	}
+	for _, l := range sp.Links {
+		fmt.Printf(" link=%s", l)
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // pctl reads the p-th percentile from ascending ms samples.

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -23,7 +24,9 @@ type debugServer struct {
 }
 
 // debugMux builds the observability mux: /metrics (Prometheus text),
-// /debug/vars (JSON snapshot), /debug/pprof/*, and a plain-text index at /.
+// /debug/vars (JSON snapshot), the flight recorder under /debug/traces,
+// /debug/traces/{id} and /debug/active, /debug/pprof/*, and a plain-text
+// index at /.
 // It is the one mux behind both the standalone debug listener
 // (Options.DebugAddr) and the network daemon's shared endpoint
 // (internal/server mounts the same routes next to the query API via
@@ -45,15 +48,69 @@ func (db *Database) debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", db.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", db.handleTraceByID)
+	mux.HandleFunc("GET /debug/active", db.handleActiveTraces)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "obstacles debug listener\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprintf(w, "obstacles debug listener\n\n/metrics\n/debug/vars\n/debug/traces\n/debug/traces/{id}\n/debug/active\n/debug/pprof/\n")
 	})
 	return mux
+}
+
+// handleTraces serves GET /debug/traces: the flight recorder's retained
+// traces as a JSON list, newest first. Query parameters: verb= filters on
+// the root span name, min_dur= (a Go duration, e.g. 50ms) drops faster
+// traces, n= caps the list (default 100).
+func (db *Database) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad min_dur %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		minDur = d
+	}
+	limit := 100
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("bad n %q", v), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeDebugJSON(w, db.tel.traces.Traces(q.Get("verb"), minDur, limit))
+}
+
+// handleTraceByID serves GET /debug/traces/{id}: one retained trace's full
+// span tree.
+func (db *Database) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	snap, ok := db.tel.traces.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "trace not found (evicted, sampled out, or never recorded)", http.StatusNotFound)
+		return
+	}
+	writeDebugJSON(w, snap)
+}
+
+// handleActiveTraces serves GET /debug/active: in-flight traced requests,
+// longest-running first, each with its elapsed time and currently-open span.
+func (db *Database) handleActiveTraces(w http.ResponseWriter, r *http.Request) {
+	writeDebugJSON(w, db.tel.traces.Active())
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // DebugHandler returns the database's observability endpoint as a plain

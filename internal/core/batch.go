@@ -249,20 +249,22 @@ func (s *Session) batchExpand(g *visgraph.Graph, source geom.Point, prep *batchP
 			}
 		}
 		unsettled := pending
-		g.Expand(nq, math.Inf(1), func(n visgraph.NodeID, d float64) bool {
-			idxs, ok := prep.nodeIdx[n]
-			if !ok {
-				return true
-			}
-			hit := false
-			for _, i := range idxs {
-				if !final[i] {
-					dists[i] = d
-					unsettled--
-					hit = true
+		s.dijkstra(func() {
+			g.Expand(nq, math.Inf(1), func(n visgraph.NodeID, d float64) bool {
+				idxs, ok := prep.nodeIdx[n]
+				if !ok {
+					return true
 				}
-			}
-			return !hit || unsettled > 0
+				hit := false
+				for _, i := range idxs {
+					if !final[i] {
+						dists[i] = d
+						unsettled--
+						hit = true
+					}
+				}
+				return !hit || unsettled > 0
+			})
 		})
 		if err := s.err(); err != nil {
 			return err

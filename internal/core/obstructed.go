@@ -33,7 +33,8 @@ func (s *Session) obstructedDistance(g *visgraph.Graph, np, nq visgraph.NodeID, 
 		if err := s.err(); err != nil {
 			return 0, err
 		}
-		d := g.ObstructedDist(np, nq)
+		var d float64
+		s.dijkstra(func() { d = g.ObstructedDist(np, nq) })
 		// A cancellation mid-expansion leaves d unsettled (+Inf); without
 		// this re-check the 'searched >= cover' branch would report a
 		// reachable pair as proven-unreachable with a nil error.
@@ -116,7 +117,9 @@ func (s *Session) ObstructedPath(a, b geom.Point) (_ []geom.Point, _ float64, st
 		return nil, d, st, nil
 	}
 	st.Results = 1
-	nodes, dist := g.ShortestPath(na, nb)
+	var nodes []visgraph.NodeID
+	var dist float64
+	s.dijkstra(func() { nodes, dist = g.ShortestPath(na, nb) })
 	if err := s.err(); err != nil {
 		return nil, 0, st, err
 	}

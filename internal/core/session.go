@@ -45,24 +45,42 @@ type Session struct {
 	// same points once per row or neighborhood. Bounded by the points one
 	// job touches (sessions are per-call).
 	insideMemo map[geom.Point]bool
-	// trace, when set, records the timing of the session's lifecycle
-	// stages (graph builds, obstacle scans, growth rounds). All recording
-	// is nil-safe, so an un-traced session pays one branch per stage.
-	trace *telemetry.Trace
+	// span, when set, is the session's span in the enclosing trace: the
+	// lifecycle stages (graph builds, obstacle scans, growth rounds,
+	// Dijkstra expansions) are recorded as its children. All recording is
+	// nil-safe, so an un-traced session pays one branch per stage.
+	span *telemetry.Span
 }
 
-// SetTrace attaches a lifecycle trace to the session; nil detaches.
-func (s *Session) SetTrace(t *telemetry.Trace) { s.trace = t }
+// SetSpan attaches the session's trace span; its lifecycle stages become
+// child spans. nil detaches.
+func (s *Session) SetSpan(sp *telemetry.Span) { s.span = sp }
 
-// Trace returns the session's lifecycle trace (nil when tracing is off).
-func (s *Session) Trace() *telemetry.Trace { return s.trace }
+// Span returns the session's trace span (nil when tracing is off).
+func (s *Session) Span() *telemetry.Span { return s.span }
 
 // buildGraph constructs a visibility graph over the obstacles, recording a
 // "graph-build" span — the single chokepoint every query verb builds
 // graphs through.
 func (s *Session) buildGraph(obs []visgraph.Obstacle) *visgraph.Graph {
-	defer s.trace.StartSpan("graph-build")()
+	defer s.span.StartSpan("graph-build")()
 	return visgraph.Build(s.graphOptions(), obs)
+}
+
+// dijkstra runs one Dijkstra expansion under a "dijkstra" child span whose
+// settled-node delta is recorded as the span's work attribute — the
+// chokepoint all three expansion paths (Fig 8 enlargement, path extraction,
+// batch multi-target settling) time themselves through.
+func (s *Session) dijkstra(run func()) {
+	if s.span == nil {
+		run()
+		return
+	}
+	sp := s.span.StartChild("dijkstra")
+	before := s.met.SettledNodes
+	run()
+	sp.SetAttr("settled_nodes", s.met.SettledNodes-before)
+	sp.End()
 }
 
 // NewSession starts a query session on the engine. The context governs every
@@ -199,7 +217,7 @@ func (s *Session) relevantObstacles(center geom.Point, radius float64) ([]visgra
 	if err := s.err(); err != nil {
 		return nil, err
 	}
-	defer s.trace.StartSpan("obstacle-scan")()
+	defer s.span.StartSpan("obstacle-scan")()
 	polys := s.obst.polys
 	var out []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {
@@ -222,7 +240,7 @@ func (s *Session) addObstaclesWithin(g *visgraph.Graph, center geom.Point, radiu
 	if err := s.err(); err != nil {
 		return false, err
 	}
-	defer s.trace.StartSpan("graph-grow")()
+	defer s.span.StartSpan("graph-grow")()
 	polys := s.obst.polys
 	var batch []visgraph.Obstacle
 	err := s.obstTree.SearchCircle(center, radius, func(it rtree.Item) bool {

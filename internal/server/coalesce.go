@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	obstacles "repro"
+	"repro/internal/telemetry"
 )
 
 // The read-side coalescer. Concurrent ObstructedDistance requests whose
@@ -37,6 +38,10 @@ type distTicket struct {
 	dist           float64
 	err            error
 	rode           bool // answered by a batch another request led
+	// leaderTrace is the trace id of the request that led this ticket's
+	// batch; a rider links it from its own trace. Written before
+	// close(done), read only after <-done.
+	leaderTrace telemetry.TraceID
 }
 
 // cellKey identifies one coalescing region: the grid cell of the source
@@ -97,6 +102,11 @@ func (c *coalescer) Distance(ctx context.Context, a, b obstacles.Point) (float64
 	bk.queue = append(bk.queue, tk)
 	c.mu.Unlock()
 
+	// The park span covers the whole time between enqueueing the ticket and
+	// having an answer — for a leader that includes its own lead, which
+	// shows up as a sibling coalesce-lead span.
+	park := telemetry.SpanFromContext(ctx).StartChild("coalesce-park")
+	defer park.End()
 	for {
 		select {
 		case <-tk.done:
@@ -132,6 +142,11 @@ func (c *coalescer) settle(ctx context.Context, tk *distTicket) (float64, bool, 
 	}
 	if tk.rode {
 		c.met.coalesceHits.Inc()
+		// The answer was computed under the leader's trace: link it, unless
+		// this request was the leader itself.
+		if sp := telemetry.SpanFromContext(ctx); sp != nil && tk.leaderTrace != sp.Trace().ID() {
+			sp.AddLink(tk.leaderTrace)
+		}
 	}
 	return tk.dist, tk.rode, tk.err
 }
@@ -180,6 +195,11 @@ func (c *coalescer) lead(ctx context.Context, key cellKey, bk *bucket) {
 	c.met.coalesceBatches.Inc()
 	c.met.coalesceBatchSize.Observe(float64(len(batch)))
 
+	lead := telemetry.SpanFromContext(ctx).StartChild("coalesce-lead")
+	lead.SetAttr("batch_size", len(batch))
+	defer lead.End()
+	leaderTrace := telemetry.FromContext(ctx).ID()
+
 	// One ObstructedDistances call per distinct source: the whole group
 	// settles on one cached graph acquisition. Group order follows the
 	// batch, so results are deterministic per group.
@@ -205,6 +225,7 @@ func (c *coalescer) lead(ctx context.Context, key cellKey, bk *bucket) {
 				tk.dist = dists[i]
 			}
 			tk.rode = len(batch) > 1
+			tk.leaderTrace = leaderTrace
 			close(tk.done)
 		}
 	}
@@ -231,21 +252,28 @@ type nnCall struct {
 	done chan struct{}
 	res  []obstacles.Neighbor
 	err  error
+	// leaderTrace is the executing request's trace id, set at registration;
+	// riders link it. Read only after <-done.
+	leaderTrace telemetry.TraceID
 }
 
 // Nearest answers a kNN query through the identity singleflight. The
 // shared result slice is read-only for every rider.
 func (c *coalescer) Nearest(ctx context.Context, dataset string, q obstacles.Point, k int) ([]obstacles.Neighbor, bool, error) {
 	key := nnKey{dataset, q, k}
+	sp := telemetry.SpanFromContext(ctx)
 	c.mu.Lock()
 	if call, ok := c.nn[key]; ok {
 		c.mu.Unlock()
 		if testHookNNRider != nil {
 			testHookNNRider()
 		}
+		park := sp.StartChild("coalesce-park")
 		select {
 		case <-call.done:
+			park.End()
 		case <-ctx.Done():
+			park.End()
 			return nil, false, ctx.Err()
 		}
 		if call.err != nil && ctx.Err() == nil &&
@@ -255,9 +283,12 @@ func (c *coalescer) Nearest(ctx context.Context, dataset string, q obstacles.Poi
 			return res, false, err
 		}
 		c.met.coalesceHits.Inc()
+		if sp != nil && call.leaderTrace != sp.Trace().ID() {
+			sp.AddLink(call.leaderTrace)
+		}
 		return call.res, true, call.err
 	}
-	call := &nnCall{done: make(chan struct{})}
+	call := &nnCall{done: make(chan struct{}), leaderTrace: sp.Trace().ID()}
 	c.nn[key] = call
 	c.mu.Unlock()
 

@@ -81,6 +81,10 @@ func expectRecord(t *testing.T, recs []capturedRecord, route, dataset string, st
 	if _, ok := r.attrs["coalesced"].(bool); !ok {
 		t.Errorf("route %q: coalesced attr missing or not bool: %v", route, r.attrs["coalesced"])
 	}
+	id, ok := r.attrs["trace_id"].(string)
+	if !ok || !traceIDRe.MatchString(id) {
+		t.Errorf("route %q: trace_id = %v, want 32 hex digits", route, r.attrs["trace_id"])
+	}
 	return r
 }
 

@@ -18,17 +18,24 @@
 //     in-flight request finish, and only then closes the Database, so the
 //     durable store always sees a clean close;
 //   - structured request logging: Config.RequestLogger, when set, receives
-//     one slog record per request — route, dataset, status, duration, and
-//     whether the answer rode a coalesced batch.
+//     one slog record per request — route, dataset, status, duration, trace
+//     id, and whether the answer rode a coalesced batch;
+//   - end-to-end tracing: every request runs under a trace, continuing the
+//     caller's W3C traceparent header when one is present, and returns its
+//     trace id in the Obs-Trace-Id response header. Admission wait,
+//     coalesce parking, engine stages and commit stages are child spans;
+//     completed traces land in the Database's flight recorder
+//     (/debug/traces, /debug/traces/{id}) and in-flight ones are listed by
+//     /debug/active.
 //
 // Administrative verbs live under /v1/admin: POST /v1/admin/backup writes a
 // consistent point-in-time copy of a durable database to a fresh file while
 // queries and mutations keep running (Database.Backup).
 //
-// The daemon's /metrics, /debug/vars and /debug/pprof/ endpoints are the
-// Database's own observability mux (DebugHandler) mounted on the API
-// listener: engine series and obsd_* series share one registry and one
-// scrape target.
+// The daemon's /metrics, /debug/vars, /debug/traces, /debug/active and
+// /debug/pprof/ endpoints are the Database's own observability mux
+// (DebugHandler) mounted on the API listener: engine series and obsd_*
+// series share one registry and one scrape target.
 package server
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	obstacles "repro"
+	"repro/internal/telemetry"
 )
 
 // Route labels: one per verb, used in paths' handlers and telemetry.
@@ -278,6 +286,8 @@ func unknownDataset(name string) error {
 // log record the pipeline emits after they return.
 type reqInfo struct {
 	coalesced bool
+	// trace is the request's trace, stamped into the request log record.
+	trace *telemetry.Trace
 }
 
 type reqInfoKey struct{}
@@ -306,23 +316,55 @@ func (s *Server) logRequest(r *http.Request, route string, status int, d time.Du
 		slog.String("dataset", r.PathValue("dataset")),
 		slog.Int("status", status),
 		slog.Duration("duration", d),
-		slog.Bool("coalesced", ri.coalesced))
+		slog.Bool("coalesced", ri.coalesced),
+		slog.String("trace_id", ri.trace.ID().String()))
 }
 
-// handle wraps a verb handler with the request pipeline: telemetry,
+// traceFor starts the request's trace: continuing the caller's W3C
+// traceparent header when one is present and valid, fresh otherwise (a
+// malformed header degrades to a fresh trace rather than failing the
+// request).
+func traceFor(r *http.Request) *telemetry.Trace {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if tid, sid, _, err := telemetry.ParseTraceparent(h); err == nil {
+			return telemetry.NewTraceFrom(tid, sid)
+		}
+	}
+	return telemetry.NewTrace()
+}
+
+// handle wraps a verb handler with the request pipeline: telemetry, tracing,
 // admission (when gated), deadline propagation, error encoding, and request
 // logging.
 func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	rec := s.db.TraceRecorder()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ri := &reqInfo{}
+		tr := traceFor(r)
+		root := tr.Root(route)
+		// The trace id goes out on every response — success or failure —
+		// so callers can always cross-reference /debug/traces.
+		w.Header().Set("Obs-Trace-Id", tr.ID().String())
+		rec.StartActive(tr)
+		ri := &reqInfo{trace: tr}
 		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
-		fail := func(err error) {
-			status := s.writeErr(w, route, err)
+		finish := func(status int) {
+			root.SetAttr("status", status)
+			root.End()
+			rec.EndActive(tr)
+			// 5xx and client-abandoned requests are error-tier: those are
+			// the traces worth keeping unconditionally.
+			rec.Record(tr, status >= 500 || status == 499)
 			s.logRequest(r, route, status, time.Since(start), ri)
 		}
+		fail := func(err error) {
+			finish(s.writeErr(w, route, err))
+		}
 		if gated {
-			if err := s.gate.acquire(r.Context()); err != nil {
+			admit := root.StartChild("admission-wait")
+			err := s.gate.acquire(r.Context())
+			admit.End()
+			if err != nil {
 				fail(err)
 				return
 			}
@@ -350,6 +392,7 @@ func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter,
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+		ctx = telemetry.ContextWithSpan(ctx, root)
 
 		qStart := time.Now()
 		err := fn(w, r.WithContext(ctx))
@@ -358,7 +401,7 @@ func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter,
 			fail(err)
 			return
 		}
-		s.logRequest(r, route, http.StatusOK, time.Since(start), ri)
+		finish(http.StatusOK)
 	})
 }
 
@@ -644,7 +687,7 @@ func (s *Server) handleInsertPoints(w http.ResponseWriter, r *http.Request) erro
 	for i, p := range req.Points {
 		pts[i] = p.Point()
 	}
-	ids, err := s.db.InsertPoints(name, pts...)
+	ids, err := s.db.InsertPointsContext(r.Context(), name, pts...)
 	if err != nil {
 		return err
 	}
@@ -663,7 +706,7 @@ func (s *Server) handleDeletePoints(w http.ResponseWriter, r *http.Request) erro
 	if len(req.IDs) == 0 {
 		return badRequest("empty id list")
 	}
-	if err := s.db.DeletePoints(name, req.IDs...); err != nil {
+	if err := s.db.DeletePointsContext(r.Context(), name, req.IDs...); err != nil {
 		if strings.Contains(err.Error(), "no entity") {
 			return badRequest("%v", err)
 		}
@@ -696,7 +739,7 @@ func (s *Server) handleAddObstacles(w http.ResponseWriter, r *http.Request) erro
 	for _, rc := range req.Rects {
 		polys = append(polys, obstacles.RectPolygon(obstacles.R(rc[0], rc[1], rc[2], rc[3])))
 	}
-	ids, err := s.db.AddObstacles(polys...)
+	ids, err := s.db.AddObstaclesContext(r.Context(), polys...)
 	if err != nil {
 		return err
 	}
@@ -711,7 +754,7 @@ func (s *Server) handleRemoveObstacles(w http.ResponseWriter, r *http.Request) e
 	if len(req.IDs) == 0 {
 		return badRequest("empty id list")
 	}
-	if err := s.db.RemoveObstacles(req.IDs...); err != nil {
+	if err := s.db.RemoveObstaclesContext(r.Context(), req.IDs...); err != nil {
 		if strings.Contains(err.Error(), "no obstacle") {
 			return badRequest("%v", err)
 		}
@@ -737,7 +780,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) err
 	for i, p := range req.Points {
 		pts[i] = p.Point()
 	}
-	if err := s.db.AddDataset(name, pts); err != nil {
+	if err := s.db.AddDatasetContext(r.Context(), name, pts); err != nil {
 		if strings.Contains(err.Error(), "already exists") {
 			return &httpError{http.StatusConflict, CodeDatasetExists, err.Error()}
 		}

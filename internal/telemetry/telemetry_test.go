@@ -183,20 +183,19 @@ func TestWritePrometheus(t *testing.T) {
 func TestTrace(t *testing.T) {
 	var nilTrace *Trace
 	// Every method must be a no-op on nil, not a crash.
-	nilTrace.Span("x", time.Now())
-	nilTrace.SpanDur("x", time.Now(), time.Second)
-	nilTrace.StartSpan("x")()
-	if nilTrace.Spans() != nil || nilTrace.String() != "" || !nilTrace.Start().IsZero() {
+	if nilTrace.Root("x") != nil || nilTrace.RootSpan() != nil {
+		t.Fatal("nil trace should yield nil spans")
+	}
+	nilTrace.Root("x").StartSpan("y")()
+	if nilTrace.String() != "" || !nilTrace.Start().IsZero() {
 		t.Fatal("nil trace should be inert")
 	}
 
 	tr := NewTrace()
-	tr.SpanDur("second", tr.Start().Add(time.Millisecond), 2*time.Millisecond)
-	tr.SpanDur("first", tr.Start(), time.Millisecond)
-	spans := tr.Spans()
-	if len(spans) != 2 || spans[0].Name != "first" || spans[1].Name != "second" {
-		t.Fatalf("spans not in start order: %+v", spans)
-	}
+	root := tr.Root("query")
+	root.ChildDur("first", tr.Start(), time.Millisecond)
+	root.ChildDur("second", tr.Start().Add(time.Millisecond), 2*time.Millisecond)
+	root.End()
 	s := tr.String()
 	if !strings.Contains(s, "first@0s+1ms") || !strings.Contains(s, "second@1ms+2ms") {
 		t.Fatalf("trace string = %q", s)

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) header handling.
+// The wire form is
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^ trace-id (32 hex) ^^^^ ^ parent-id ^^^^ ^^ flags
+//
+// ParseTraceparent accepts any version except the reserved ff; versions
+// above 00 may carry additional dash-separated fields after the flags (the
+// spec requires parsers to ignore them). Everything else is strict: exact
+// field widths, lowercase hex only, and all-zero trace or parent ids are
+// rejected, so a malformed header degrades to a fresh trace rather than
+// propagating garbage ids.
+
+// sampledFlag is the least-significant trace-flags bit.
+const sampledFlag = 0x01
+
+// ParseTraceparent parses a W3C traceparent header into its trace id, parent
+// span id and sampled flag.
+func ParseTraceparent(h string) (TraceID, SpanID, bool, error) {
+	fail := func(format string, args ...any) (TraceID, SpanID, bool, error) {
+		return TraceID{}, SpanID{}, false, fmt.Errorf("telemetry: traceparent "+format, args...)
+	}
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return fail("%q: need version-traceid-parentid-flags", h)
+	}
+	version, traceID, parentID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isLowerHex(version) {
+		return fail("version %q: want 2 hex digits", version)
+	}
+	if version == "ff" {
+		return fail("version ff is reserved")
+	}
+	if version == "00" && len(parts) != 4 {
+		return fail("%q: version 00 allows exactly 4 fields", h)
+	}
+	tid, err := ParseTraceID(traceID)
+	if err != nil {
+		return fail("trace id %q: want 32 lowercase hex digits", traceID)
+	}
+	if tid.IsZero() {
+		return fail("trace id is all-zero")
+	}
+	sid, err := ParseSpanID(parentID)
+	if err != nil {
+		return fail("parent id %q: want 16 lowercase hex digits", parentID)
+	}
+	if sid.IsZero() {
+		return fail("parent id is all-zero")
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return fail("flags %q: want 2 hex digits", flags)
+	}
+	sampled := hexByte(flags)&sampledFlag != 0
+	return tid, sid, sampled, nil
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(tid TraceID, sid SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tid.String() + "-" + sid.String() + "-" + flags
+}
+
+// hexByte decodes a 2-digit lowercase hex string the caller already
+// validated.
+func hexByte(s string) byte {
+	digit := func(c byte) byte {
+		if c >= 'a' {
+			return c - 'a' + 10
+		}
+		return c - '0'
+	}
+	return digit(s[0])<<4 | digit(s[1])
+}

@@ -44,7 +44,7 @@ func (db *Database) nearestAt(v *dbVersion, ctx context.Context, dataset string,
 			yield(Neighbor{}, err)
 			return
 		}
-		sess := db.newSessionAt(ctx, v)
+		sess := db.newSessionAt(ctx, v, VerbNearestStream)
 		it := sess.NearestIterator(ps, q)
 		emitted, pulled := 0, 0
 		defer func() {
@@ -110,7 +110,7 @@ func (db *Database) closestAt(v *dbVersion, ctx context.Context, dataset1, datas
 			yield(Pair{}, err)
 			return
 		}
-		sess := db.newSessionAt(ctx, v)
+		sess := db.newSessionAt(ctx, v, VerbClosestStream)
 		it, err := sess.ClosestPairIterator(s, t)
 		if err != nil {
 			yield(Pair{}, err)
@@ -170,7 +170,7 @@ func (db *Database) NearestIterator(dataset string, q Point) (*NearestIterator, 
 		db.unpin(v)
 		return nil, err
 	}
-	sess := db.newSessionAt(context.Background(), v)
+	sess := db.engine.NewSessionAt(context.Background(), v.obst)
 	return &NearestIterator{db: db, v: v, inner: sess.NearestIterator(ps, q)}, nil
 }
 
@@ -234,7 +234,7 @@ func (db *Database) ClosestPairIterator(dataset1, dataset2 string) (*ClosestPair
 		db.unpin(v)
 		return nil, err
 	}
-	sess := db.newSessionAt(context.Background(), v)
+	sess := db.engine.NewSessionAt(context.Background(), v.obst)
 	inner, err := sess.ClosestPairIterator(s, t)
 	if err != nil {
 		db.unpin(v)

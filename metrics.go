@@ -3,6 +3,8 @@ package obstacles
 import (
 	"context"
 	"log/slog"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -14,9 +16,13 @@ import (
 // derive summary statistics from it.
 type HistogramSnapshot = telemetry.HistogramSnapshot
 
-// TraceSpan is one timed stage of a query lifecycle, as recorded by the
-// slow-query log.
-type TraceSpan = telemetry.Span
+// TraceSpan is one span of a recorded trace, in tree form, as served by the
+// /debug/traces endpoints.
+type TraceSpan = telemetry.SpanSnapshot
+
+// TraceSnapshot is one completed trace retained by the flight recorder: the
+// span tree plus summary fields.
+type TraceSnapshot = telemetry.TraceSnapshot
 
 // Query verbs as they appear in per-verb metrics (the `verb` label of
 // obstacles_queries_total and obstacles_query_seconds) and in the
@@ -98,6 +104,30 @@ type dbMetrics struct {
 	fsyncSeconds      *telemetry.Histogram
 	batchSize         *telemetry.Histogram
 	checkpointSeconds *telemetry.Histogram
+
+	// traces is the flight recorder behind /debug/traces and /debug/active.
+	traces *telemetry.Recorder
+
+	// memStats caches one runtime.ReadMemStats read across the runtime
+	// series of a scrape: the read is briefly stop-the-world, so the four
+	// memory gauges share one per-interval snapshot instead of paying it
+	// four times per scrape.
+	memMu     sync.Mutex
+	memStats  runtime.MemStats
+	memRead   time.Time
+	memMaxAge time.Duration
+}
+
+// mem returns cached memory statistics, re-reading at most once per cache
+// interval.
+func (m *dbMetrics) mem() runtime.MemStats {
+	m.memMu.Lock()
+	defer m.memMu.Unlock()
+	if m.memRead.IsZero() || time.Since(m.memRead) > m.memMaxAge {
+		runtime.ReadMemStats(&m.memStats)
+		m.memRead = time.Now()
+	}
+	return m.memStats
 }
 
 // newDBMetrics builds and registers the database's instrument set. Gauges
@@ -106,9 +136,14 @@ type dbMetrics struct {
 func newDBMetrics(db *Database) *dbMetrics {
 	reg := telemetry.NewRegistry()
 	m := &dbMetrics{
-		reg:   reg,
-		verbs: make(map[string]*verbMetrics, len(queryVerbs)),
+		reg:       reg,
+		verbs:     make(map[string]*verbMetrics, len(queryVerbs)),
+		memMaxAge: time.Second,
 	}
+	m.traces = telemetry.NewRecorder(telemetry.RecorderOptions{
+		SampleRate:    db.opts.TraceSampleRate,
+		SlowThreshold: db.opts.SlowQueryThreshold,
+	})
 	for _, verb := range queryVerbs {
 		m.verbs[verb] = &verbMetrics{
 			count:   reg.Counter("obstacles_queries_total", "Queries served, by verb.", telemetry.L("verb", verb)),
@@ -205,18 +240,61 @@ func newDBMetrics(db *Database) *dbMetrics {
 		}
 		return 0
 	})
+
+	// Flight recorder retention decisions (see /debug/traces).
+	rec := func(get func(telemetry.RecorderStats) uint64) func() uint64 {
+		return func() uint64 { return get(m.traces.Stats()) }
+	}
+	reg.CounterFunc("obstacles_traces_error_total", "Error-tier traces retained by the flight recorder.", rec(func(s telemetry.RecorderStats) uint64 { return s.Errors }))
+	reg.CounterFunc("obstacles_traces_slow_total", "Slow-tier traces retained by the flight recorder.", rec(func(s telemetry.RecorderStats) uint64 { return s.Slow }))
+	reg.CounterFunc("obstacles_traces_sampled_total", "Normal-tier traces retained by the sampling coin flip.", rec(func(s telemetry.RecorderStats) uint64 { return s.Sampled }))
+	reg.CounterFunc("obstacles_traces_dropped_total", "Normal-tier traces dropped by the sampling coin flip.", rec(func(s telemetry.RecorderStats) uint64 { return s.SampledOut }))
+
+	// Go runtime health: without these a leaking daemon is invisible to its
+	// own scrape. The memory series share one cached ReadMemStats per scrape
+	// interval (the read is briefly stop-the-world).
+	reg.GaugeFunc("go_goroutines", "Goroutines currently live in the process.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_inuse_bytes", "Bytes in in-use heap spans.", func() float64 {
+		return float64(m.mem().HeapInuse)
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(m.mem().HeapAlloc)
+	})
+	reg.CounterFunc("go_gc_cycles_total", "Completed garbage-collection cycles.", func() uint64 {
+		return uint64(m.mem().NumGC)
+	})
+	reg.CounterFunc("go_gc_pause_ns_total", "Cumulative stop-the-world pause time in nanoseconds.", func() uint64 {
+		return m.mem().PauseTotalNs
+	})
 	return m
 }
 
-// newSessionAt starts a query session reading the given pinned version,
-// attaching a lifecycle trace when the slow-query log is enabled so an
-// over-threshold query can be logged with its full stage breakdown.
-func (db *Database) newSessionAt(ctx context.Context, v *dbVersion) *core.Session {
+// newSessionAt starts a query session reading the given pinned version. The
+// verb names the session's engine span. When the caller's context carries a
+// span (the server's request root), the engine span joins the caller's trace
+// as its child; otherwise, if tracing is on at all (slow-query log or
+// sampling), the session owns a fresh trace of its own, registered with the
+// flight recorder so /debug/active can see embedded-use queries too.
+func (db *Database) newSessionAt(ctx context.Context, v *dbVersion, verb string) *core.Session {
 	sess := db.engine.NewSessionAt(ctx, v.obst)
-	if db.opts.SlowQueryThreshold > 0 {
-		sess.SetTrace(telemetry.NewTrace())
+	if parent := telemetry.SpanFromContext(ctx); parent != nil {
+		sess.SetSpan(parent.StartChild(verb))
+	} else if db.opts.SlowQueryThreshold > 0 || db.opts.TraceSampleRate > 0 {
+		tr := telemetry.NewTrace()
+		sess.SetSpan(tr.Root(verb))
+		db.tel.traces.StartActive(tr)
 	}
 	return sess
+}
+
+// TraceRecorder returns the database's flight recorder — the store behind
+// the /debug/traces and /debug/active endpoints. Layers above the Database
+// (the network daemon) record their request traces here so one recorder
+// covers the whole process.
+func (db *Database) TraceRecorder() *telemetry.Recorder {
+	return db.tel.traces
 }
 
 // cowCopies sums the copy-on-write page relocations across every tree.
@@ -260,6 +338,23 @@ func (db *Database) record(verb string, cfg *queryConfig, sess *core.Session, st
 	if st.DistComputations > 0 {
 		m.distComputations.Add(uint64(st.DistComputations))
 	}
+	if sp := sess.Span(); sp != nil {
+		sp.SetAttr("settled_nodes", met.SettledNodes)
+		sp.SetAttr("page_reads", io.PhysicalReads)
+		sp.SetAttr("graph_builds", met.Builds)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		// A session whose context carries no span owns its trace (embedded
+		// use, no server above it): close it out with the flight recorder.
+		// Otherwise the server's root span owns the trace's lifecycle.
+		if telemetry.SpanFromContext(sess.Context()) == nil {
+			tr := sp.Trace()
+			m.traces.EndActive(tr)
+			m.traces.Record(tr, err != nil)
+		}
+	}
 	if t := db.opts.SlowQueryThreshold; t > 0 && elapsed >= t {
 		m.slowQueries.Inc()
 		db.logSlowQuery(verb, sess, st, elapsed, err)
@@ -294,7 +389,8 @@ func (db *Database) logSlowQuery(verb string, sess *core.Session, st core.Stats,
 		slog.Int("candidates", st.Candidates),
 		slog.Int("results", st.Results),
 		slog.Int("false_hits", st.FalseHits),
-		slog.String("trace", sess.Trace().String()),
+		slog.String("trace_id", sess.Span().Trace().ID().String()),
+		slog.String("trace", sess.Span().Trace().String()),
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))

@@ -279,7 +279,7 @@ func TestSlowQueryLog(t *testing.T) {
 	if rec["msg"] != "obstacles: slow query" || rec["level"] != "WARN" {
 		t.Errorf("record header = %q/%q", rec["msg"], rec["level"])
 	}
-	for _, key := range []string{"elapsed", "threshold", "page_accesses", "settled_nodes", "graph_builds", "trace"} {
+	for _, key := range []string{"elapsed", "threshold", "page_accesses", "settled_nodes", "graph_builds", "trace_id", "trace"} {
 		if _, ok := rec[key]; !ok {
 			t.Errorf("slow-query record missing %q: %v", key, rec)
 		}
@@ -287,6 +287,14 @@ func TestSlowQueryLog(t *testing.T) {
 	// The trace must carry the graph-build span the session recorded.
 	if !strings.Contains(rec["trace"], "graph-build@") {
 		t.Errorf("trace %q has no graph-build span", rec["trace"])
+	}
+	// The trace id names a flight-recorder entry: slow traces are always
+	// retained, so the full span tree is retrievable by this id.
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(rec["trace_id"]) {
+		t.Errorf("trace_id = %q, want 32 hex digits", rec["trace_id"])
+	}
+	if snap, ok := db.TraceRecorder().Get(rec["trace_id"]); !ok || snap.Tier != "slow" {
+		t.Errorf("slow query's trace %q not retained slow-tier (%+v)", rec["trace_id"], snap)
 	}
 	if m := db.Metrics(); m.SlowQueries == 0 {
 		t.Error("SlowQueries counter not incremented")
@@ -341,6 +349,23 @@ func TestDebugEndpoint(t *testing.T) {
 	if samples[`obstacles_mutations_total{op="add_dataset"}`] != 1 {
 		t.Error("scrape missing the add_dataset mutation")
 	}
+	// Go runtime series ride the same registry.
+	if samples["go_goroutines"] <= 0 {
+		t.Errorf("go_goroutines = %v, want > 0", samples["go_goroutines"])
+	}
+	if samples["go_heap_inuse_bytes"] <= 0 {
+		t.Errorf("go_heap_inuse_bytes = %v, want > 0", samples["go_heap_inuse_bytes"])
+	}
+	if samples["go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %v, want > 0", samples["go_heap_alloc_bytes"])
+	}
+	for _, name := range []string{"go_gc_cycles_total", "go_gc_pause_ns_total",
+		"obstacles_traces_error_total", "obstacles_traces_slow_total",
+		"obstacles_traces_sampled_total", "obstacles_traces_dropped_total"} {
+		if _, ok := samples[name]; !ok {
+			t.Errorf("scrape missing %s", name)
+		}
+	}
 
 	// /debug/vars must be one JSON document carrying the same snapshot.
 	resp, err = http.Get("http://" + addr + "/debug/vars")
@@ -357,6 +382,45 @@ func TestDebugEndpoint(t *testing.T) {
 	}
 	if got := vars.Metrics.Queries[VerbRange].Count; got != 1 {
 		t.Errorf("/debug/vars range count = %d", got)
+	}
+
+	// The flight-recorder endpoints answer on the same mux (empty here: no
+	// sampling configured, nothing slow, nothing failed).
+	resp, err = http.Get("http://" + addr + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/traces status %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/traces/" + strings.Repeat("0", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/traces/{unknown} status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/traces?min_dur=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/debug/traces?min_dur=bogus status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/active")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/active status %d", resp.StatusCode)
 	}
 
 	// pprof is wired onto the same mux.

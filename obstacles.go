@@ -15,6 +15,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pagefile"
 	"repro/internal/rtree"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Database.
@@ -82,6 +83,13 @@ type Options struct {
 	// SlowQueryLogger receives slow-query records; nil selects
 	// slog.Default().
 	SlowQueryLogger *slog.Logger
+	// TraceSampleRate, in [0, 1], is the probability a normal (neither
+	// failed nor slow) query's trace is retained by the flight recorder
+	// behind /debug/traces. Error traces and traces at or over
+	// SlowQueryThreshold are always retained. 0 disables sampling; queries
+	// are then only traced at all when SlowQueryThreshold is set or the
+	// caller's context already carries a span.
+	TraceSampleRate float64
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -100,6 +108,9 @@ func (o Options) validate() error {
 	// range check would wave it through into the buffer sizing.
 	if o.BufferFraction != 0 && !(o.BufferFraction > 0 && o.BufferFraction <= 1) {
 		return fmt.Errorf("obstacles: Options.BufferFraction %g out of range (0, 1]; use 0 for the default (0.10)", o.BufferFraction)
+	}
+	if o.TraceSampleRate != 0 && !(o.TraceSampleRate > 0 && o.TraceSampleRate <= 1) {
+		return fmt.Errorf("obstacles: Options.TraceSampleRate %g out of range [0, 1]", o.TraceSampleRate)
 	}
 	return nil
 }
@@ -504,7 +515,15 @@ func (db *Database) treeOptions() rtree.Options {
 // publishes; queries proceed concurrently throughout. A durable database
 // (Open) instead serializes the build with other mutators, so the pages it
 // allocates commit atomically with the catalog record that names them.
-func (db *Database) AddDataset(name string, pts []Point) (err error) {
+func (db *Database) AddDataset(name string, pts []Point) error {
+	return db.AddDatasetContext(context.Background(), name, pts)
+}
+
+// AddDatasetContext is AddDataset with a caller context. The context is
+// consulted for trace propagation only (a span carried by ctx records the
+// build and commit stages as children); the build and commit themselves run
+// to completion once started.
+func (db *Database) AddDatasetContext(ctx context.Context, name string, pts []Point) (err error) {
 	defer db.countMutation(OpAddDataset, &err)
 	db.mu.RLock()
 	_, exists := db.datasets[name]
@@ -513,7 +532,7 @@ func (db *Database) AddDataset(name string, pts []Point) (err error) {
 		return fmt.Errorf("obstacles: dataset %q already exists", name)
 	}
 	if db.store != nil {
-		return db.addDatasetDurable(name, pts)
+		return db.addDatasetDurable(telemetry.SpanFromContext(ctx), name, pts)
 	}
 	ps, err := core.NewPointSet(db.treeOptions(), pts, !db.opts.InsertLoad)
 	if err != nil {
@@ -542,7 +561,7 @@ func (db *Database) AddDataset(name string, pts []Point) (err error) {
 // the file with nothing referencing them, a permanent leak. The commit is
 // staged under the lock and awaited after releasing it, like every other
 // mutator, so a dataset build can share its fsync with concurrent commits.
-func (db *Database) addDatasetDurable(name string, pts []Point) (err error) {
+func (db *Database) addDatasetDurable(sp *telemetry.Span, name string, pts []Point) (err error) {
 	db.updateMu.Lock()
 	var tk *commitTicket
 	defer db.awaitCommit(&err, &tk)
@@ -572,7 +591,7 @@ func (db *Database) addDatasetDurable(name string, pts []Point) (err error) {
 	db.noteDatasetDirty(name)
 	db.gen.Add(1)
 	db.publishVersion()
-	db.stageCommit(&err, &tk, false)
+	db.stageCommit(&err, &tk, false, sp)
 	return err
 }
 
@@ -632,7 +651,15 @@ func (db *Database) dataset(name string) (*core.PointSet, error) {
 // returning; concurrent mutators stage their commits while holding the
 // update lock but share fsyncs after releasing it, so N parallel inserts
 // cost far fewer than N fsyncs (see Open).
-func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err error) {
+func (db *Database) InsertPoints(name string, pts ...Point) ([]int64, error) {
+	return db.InsertPointsContext(context.Background(), name, pts...)
+}
+
+// InsertPointsContext is InsertPoints with a caller context, consulted for
+// trace propagation only: a span carried by ctx records the commit stages
+// (stage, park, and — when this mutator leads its fsync batch — wal-append
+// and fsync) as children.
+func (db *Database) InsertPointsContext(ctx context.Context, name string, pts ...Point) (ids []int64, err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
 		return nil, err
@@ -645,7 +672,7 @@ func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err er
 	defer db.countMutation(OpInsertPoints, &err) // declared first: counts after the commit resolves
 	defer db.awaitCommit(&err, &tk)              // runs after the unlock: parks on the shared fsync
 	defer db.updateMu.Unlock()
-	defer db.stageCommit(&err, &tk, false)
+	defer db.stageCommit(&err, &tk, false, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
 	ps.BeginEpoch()
@@ -662,7 +689,13 @@ func (db *Database) InsertPoints(name string, pts ...Point) (ids []int64, err er
 // AddDataset ordering or InsertPoints). All ids are validated before any is
 // removed, so an unknown id fails the whole call with no partial effect.
 // Deleted ids may be reused by later inserts.
-func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
+func (db *Database) DeletePoints(name string, ids ...int64) error {
+	return db.DeletePointsContext(context.Background(), name, ids...)
+}
+
+// DeletePointsContext is DeletePoints with a caller context, consulted for
+// trace propagation only (see InsertPointsContext).
+func (db *Database) DeletePointsContext(ctx context.Context, name string, ids ...int64) (err error) {
 	ps, err := db.dataset(name)
 	if err != nil {
 		return err
@@ -685,7 +718,7 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 		}
 		seen[id] = true
 	}
-	defer db.stageCommit(&err, &tk, false)
+	defer db.stageCommit(&err, &tk, false, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
 	ps.BeginEpoch()
@@ -708,7 +741,13 @@ func (db *Database) DeletePoints(name string, ids ...int64) (err error) {
 // intersects a new obstacle's MBR to the old epoch (in-flight queries
 // pinned there keep using them; new queries rebuild), and publishes the
 // new obstacle set atomically.
-func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
+func (db *Database) AddObstacles(polys ...Polygon) ([]int64, error) {
+	return db.AddObstaclesContext(context.Background(), polys...)
+}
+
+// AddObstaclesContext is AddObstacles with a caller context, consulted for
+// trace propagation only (see InsertPointsContext).
+func (db *Database) AddObstaclesContext(ctx context.Context, polys ...Polygon) (ids []int64, err error) {
 	if err := validatePolygons(polys); err != nil {
 		return nil, err
 	}
@@ -720,7 +759,7 @@ func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 	defer db.countMutation(OpAddObstacles, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
-	defer db.stageCommit(&err, &tk, true)
+	defer db.stageCommit(&err, &tk, true, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
 	db.obstSet.BeginEpoch()
@@ -740,6 +779,12 @@ func (db *Database) AddObstacles(polys ...Polygon) (ids []int64, err error) {
 // AddObstacleRects is AddObstacles for rectangular obstacles (the paper's
 // street-MBR shape).
 func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
+	return db.AddObstacleRectsContext(context.Background(), rects...)
+}
+
+// AddObstacleRectsContext is AddObstacleRects with a caller context,
+// consulted for trace propagation only (see InsertPointsContext).
+func (db *Database) AddObstacleRectsContext(ctx context.Context, rects ...Rect) ([]int64, error) {
 	polys := make([]Polygon, len(rects))
 	for i, r := range rects {
 		if r.IsEmpty() {
@@ -747,7 +792,7 @@ func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
 		}
 		polys[i] = RectPolygon(r)
 	}
-	return db.AddObstacles(polys...)
+	return db.AddObstaclesContext(ctx, polys...)
 }
 
 // RemoveObstacles deletes obstacles by id (initial obstacles are numbered in
@@ -755,7 +800,13 @@ func (db *Database) AddObstacleRects(rects ...Rect) ([]int64, error) {
 // validated before any is removed. Cached visibility graphs covering a
 // removed obstacle's MBR are epoch-bounded (stale for new queries, still
 // valid for readers pinned to older generations); the rest survive.
-func (db *Database) RemoveObstacles(ids ...int64) (err error) {
+func (db *Database) RemoveObstacles(ids ...int64) error {
+	return db.RemoveObstaclesContext(context.Background(), ids...)
+}
+
+// RemoveObstaclesContext is RemoveObstacles with a caller context, consulted
+// for trace propagation only (see InsertPointsContext).
+func (db *Database) RemoveObstaclesContext(ctx context.Context, ids ...int64) (err error) {
 	if len(ids) == 0 {
 		return nil
 	}
@@ -774,7 +825,7 @@ func (db *Database) RemoveObstacles(ids ...int64) (err error) {
 		}
 		seen[id] = true
 	}
-	defer db.stageCommit(&err, &tk, true)
+	defer db.stageCommit(&err, &tk, true, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
 	db.obstSet.BeginEpoch()
@@ -821,7 +872,7 @@ func (db *Database) rangeAt(v *dbVersion, ctx context.Context, dataset string, q
 	if err != nil {
 		return nil, err
 	}
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbRange)
 	res, st, err := sess.Range(ps, q, radius)
 	db.record(VerbRange, &cfg, sess, st, start, err)
 	if err != nil {
@@ -850,7 +901,7 @@ func (db *Database) nearestNeighborsAt(v *dbVersion, ctx context.Context, datase
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbNearestNeighbors)
 	if cfg.filter == nil {
 		res, st, err := sess.NearestNeighbors(ps, q, k)
 		db.record(VerbNearestNeighbors, &cfg, sess, st, start, err)
@@ -917,7 +968,7 @@ func (db *Database) distanceJoinAt(v *dbVersion, ctx context.Context, dataset1, 
 	if err != nil {
 		return nil, err
 	}
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbDistanceJoin)
 	res, st, err := sess.DistanceJoin(s, t, dist)
 	db.record(VerbDistanceJoin, &cfg, sess, st, start, err)
 	if err != nil {
@@ -950,7 +1001,7 @@ func (db *Database) closestPairsAt(v *dbVersion, ctx context.Context, dataset1, 
 	if cfg.limit >= 0 && cfg.limit < k {
 		k = cfg.limit
 	}
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbClosestPairs)
 	if cfg.pairFilter == nil {
 		res, st, err := sess.ClosestPairs(s, t, k)
 		db.record(VerbClosestPairs, &cfg, sess, st, start, err)
@@ -999,7 +1050,7 @@ func (db *Database) ObstructedDistance(ctx context.Context, a, b Point, opts ...
 func (db *Database) obstructedDistanceAt(v *dbVersion, ctx context.Context, a, b Point, opts ...QueryOption) (float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbObstructedDistance)
 	d, st, err := sess.ObstructedDistance(a, b)
 	db.record(VerbObstructedDistance, &cfg, sess, st, start, err)
 	return d, err
@@ -1018,7 +1069,7 @@ func (db *Database) ObstructedPath(ctx context.Context, a, b Point, opts ...Quer
 func (db *Database) obstructedPathAt(v *dbVersion, ctx context.Context, a, b Point, opts ...QueryOption) ([]Point, float64, error) {
 	cfg := applyOptions(opts)
 	start := time.Now()
-	sess := db.newSessionAt(ctx, v)
+	sess := db.newSessionAt(ctx, v, VerbObstructedPath)
 	path, d, st, err := sess.ObstructedPath(a, b)
 	db.record(VerbObstructedPath, &cfg, sess, st, start, err)
 	return path, d, err
@@ -1034,7 +1085,7 @@ func (db *Database) InsideObstacle(p Point) (bool, error) {
 }
 
 func (db *Database) insideObstacleAt(v *dbVersion, p Point) (bool, error) {
-	sess := db.newSessionAt(context.Background(), v)
+	sess := db.engine.NewSessionAt(context.Background(), v.obst)
 	return sess.InsideObstacle(p)
 }
 

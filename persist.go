@@ -14,6 +14,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pagefile"
 	"repro/internal/rtree"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -71,6 +72,14 @@ type commitTicket struct {
 	tx   wal.BatchTx
 	err  error
 	done chan struct{}
+	// span is the staging mutator's request span (nil when untraced); the
+	// stage and park stages of the commit are recorded as its children.
+	span *telemetry.Span
+	// leaderTrace is the trace id of the goroutine that wrote this ticket's
+	// batch, stamped by writeBatch before the ticket wakes: a rider links it
+	// so its trace points at the trace that actually paid for the fsync.
+	// Written before close(done), read only after <-done.
+	leaderTrace telemetry.TraceID
 }
 
 // durableStore holds the persistence machinery of one open database file:
@@ -143,6 +152,10 @@ type durableStore struct {
 	// them: waiting a fraction of an fsync to share one is always worth it.
 	lastBatch atomic.Int64
 	fsyncEWMA atomic.Int64
+	// fsyncSpan is the batch leader's span while its WAL append is in
+	// flight; the wal sync hook reads it to file the fsync syscall as a
+	// child span. Cleared before tickets wake.
+	fsyncSpan atomic.Pointer[telemetry.Span]
 }
 
 // openHooks lets tests interpose fault-injection wrappers between the
@@ -391,8 +404,12 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 	db.store.tel = db.tel
 	// The WAL reports every commit-path fsync's syscall latency straight
 	// into the histogram (checkpoint truncation is not hooked: Reset syncs
-	// directly and is accounted under checkpoint duration).
-	log.SetSyncHook(db.tel.fsyncSeconds.ObserveDuration)
+	// directly and is accounted under checkpoint duration), and into the
+	// batch leader's trace when one is in flight.
+	log.SetSyncHook(func(d time.Duration) {
+		db.tel.fsyncSeconds.ObserveDuration(d)
+		db.store.fsyncSpan.Load().ChildDur("fsync", time.Now().Add(-d), d)
+	})
 	if db.store.legacy {
 		db.store.maxBatch = 1
 		db.store.maxDelay = 0
@@ -506,11 +523,11 @@ func (s *durableStore) brokenErr() error {
 // the group-commit queue and hands back the ticket the mutator parks on
 // after unlocking. When the mutation itself succeeded but staging failed,
 // the staging error is surfaced instead.
-func (db *Database) stageCommit(errp *error, tkp **commitTicket, obstChanged bool) {
+func (db *Database) stageCommit(errp *error, tkp **commitTicket, obstChanged bool, sp *telemetry.Span) {
 	if db.store == nil {
 		return
 	}
-	tk, err := db.stageCommitLocked(obstChanged)
+	tk, err := db.stageCommitLocked(obstChanged, sp)
 	if err != nil && *errp == nil {
 		*errp = err
 	}
@@ -525,16 +542,26 @@ func (db *Database) awaitCommit(errp *error, tkp **commitTicket) {
 	if db.store == nil || *tkp == nil {
 		return
 	}
+	tk := *tkp
 	start := time.Now()
-	err := db.store.awaitTicket(*tkp)
+	err := db.store.awaitTicket(tk)
 	db.tel.ackSeconds.ObserveDuration(time.Since(start))
+	if sp := tk.span; sp != nil {
+		sp.ChildDur("park", start, time.Since(start))
+		// A rider's commit was made durable under another goroutine's
+		// trace: link it, so the flight recorder can be followed from the
+		// waiter to the fsync that covered it.
+		if lt := tk.leaderTrace; lt != sp.Trace().ID() {
+			sp.AddLink(lt)
+		}
+	}
 	if err != nil {
 		if *errp == nil {
 			*errp = err
 		}
 		return
 	}
-	db.maybeAutoCheckpoint()
+	db.maybeAutoCheckpoint(tk.span)
 }
 
 // stageCommitLocked builds the commit for everything the current mutation
@@ -547,7 +574,7 @@ func (db *Database) awaitCommit(errp *error, tkp **commitTicket) {
 // In fsync-per-commit legacy mode the commit is written and fsynced inline
 // instead (the pre-group-commit protocol: the mutator holds the update lock
 // through its own fsync), and no ticket is returned.
-func (db *Database) stageCommitLocked(obstChanged bool) (*commitTicket, error) {
+func (db *Database) stageCommitLocked(obstChanged bool, sp *telemetry.Span) (*commitTicket, error) {
 	s := db.store
 	if s.closed {
 		return nil, ErrDatabaseClosed
@@ -581,10 +608,12 @@ func (db *Database) stageCommitLocked(obstChanged bool) (*commitTicket, error) {
 	tk := &commitTicket{
 		tx:   wal.BatchTx{Seq: s.seq, Pages: pages, Delta: catalog.EncodeDelta(delta)},
 		done: make(chan struct{}),
+		span: sp,
 	}
 	s.tel.stageSeconds.ObserveDuration(time.Since(stageStart))
+	sp.ChildDur("stage", stageStart, time.Since(stageStart))
 	if s.legacy {
-		s.writeBatch([]*commitTicket{tk})
+		s.writeBatch([]*commitTicket{tk}, tk)
 		if tk.err == nil && s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
 			s.lastCheckpointErr = db.checkpointLocked()
 		}
@@ -680,7 +709,7 @@ func (s *durableStore) awaitTicket(tk *commitTicket) error {
 		case <-tk.done:
 			return tk.err
 		case s.leaderTok <- struct{}{}:
-			s.drainQueue(true)
+			s.drainQueue(true, tk)
 			<-s.leaderTok
 		}
 	}
@@ -719,7 +748,7 @@ func (s *durableStore) takeBatch(batch []*commitTicket) []*commitTicket {
 // win. The wait is gated on observed contention — a lone writer (batch of
 // one following a batch of one) never waits at all. The checkpoint path
 // drains with wait=false.
-func (s *durableStore) drainQueue(wait bool) {
+func (s *durableStore) drainQueue(wait bool, lead *commitTicket) {
 	for {
 		batch := s.takeBatch(nil)
 		if len(batch) == 0 {
@@ -752,7 +781,7 @@ func (s *durableStore) drainQueue(wait bool) {
 				}
 			}
 		}
-		s.writeBatch(batch)
+		s.writeBatch(batch, lead)
 	}
 }
 
@@ -761,7 +790,14 @@ func (s *durableStore) drainQueue(wait bool) {
 // then wakes every ticket. On failure nothing in the batch is
 // acknowledged: the handle poisons (once — the first error is kept) and
 // every ticket in the batch reports the poison error.
-func (s *durableStore) writeBatch(batch []*commitTicket) {
+func (s *durableStore) writeBatch(batch []*commitTicket, lead *commitTicket) {
+	// The WAL append (and the fsync inside it) is the leader goroutine's
+	// work; it lands on the leader's span, and every ticket is stamped with
+	// the leader's trace id so riders can link it.
+	var leadSp *telemetry.Span
+	if lead != nil {
+		leadSp = lead.span
+	}
 	err := s.brokenErr()
 	if err == nil {
 		txs := make([]wal.BatchTx, len(batch))
@@ -769,7 +805,15 @@ func (s *durableStore) writeBatch(batch []*commitTicket) {
 			txs[i] = tk.tx
 		}
 		start := time.Now()
+		if leadSp != nil {
+			s.fsyncSpan.Store(leadSp)
+		}
 		err = s.log.AppendGroup(txs)
+		s.fsyncSpan.Store(nil)
+		if leadSp != nil {
+			leadSp.ChildDur("wal-append", start, time.Since(start))
+			leadSp.SetAttr("batch_size", len(batch))
+		}
 		// EWMA of the write+fsync cost, the adaptive top-up budget.
 		cost := time.Since(start).Microseconds()
 		s.fsyncEWMA.Store((3*s.fsyncEWMA.Load() + cost) / 4)
@@ -805,6 +849,7 @@ func (s *durableStore) writeBatch(batch []*commitTicket) {
 	s.cmu.Unlock()
 	for _, tk := range batch {
 		tk.err = err
+		tk.leaderTrace = leadSp.Trace().ID()
 		close(tk.done)
 	}
 }
@@ -826,7 +871,7 @@ func (s *durableStore) poison(err error) {
 func (db *Database) flushCommitsLocked() {
 	s := db.store
 	s.leaderTok <- struct{}{}
-	s.drainQueue(false)
+	s.drainQueue(false, nil)
 	<-s.leaderTok
 }
 
@@ -836,7 +881,7 @@ func (db *Database) flushCommitsLocked() {
 // see an empty WAL and skip. Checkpoint errors never fail the mutator that
 // triggered them (its mutation is already durable); they surface via
 // PersistStats.LastCheckpointErr.
-func (db *Database) maybeAutoCheckpoint() {
+func (db *Database) maybeAutoCheckpoint(sp *telemetry.Span) {
 	s := db.store
 	if s.autoCheckpoint <= 0 || s.log.Size() < s.autoCheckpoint {
 		return
@@ -846,7 +891,9 @@ func (db *Database) maybeAutoCheckpoint() {
 	if s.closed || s.log.Size() < s.autoCheckpoint {
 		return
 	}
+	start := time.Now()
 	s.lastCheckpointErr = db.checkpointLocked()
+	sp.ChildDur("checkpoint", start, time.Since(start))
 }
 
 // checkpointLocked folds the WAL into the data file: every committed page
