@@ -12,9 +12,9 @@ import (
 	"repro/internal/rtree"
 )
 
-// ErrNotPersistent is returned by Backup on an in-memory database: backup
-// copies tree pages by id, which requires the single shared page space of a
-// durable file (in-memory trees each own a private page space).
+// ErrNotPersistent is returned by Backup and Scrub on an in-memory database:
+// both operate on the single shared page space of a durable file (in-memory
+// trees each own a private page space, and have no checksums to verify).
 var ErrNotPersistent = errors.New("obstacles: backup requires a durable database (use Open)")
 
 // Backup writes a consistent copy of the database to a fresh file at path,

@@ -64,6 +64,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "with -db: run N parallel durable mutators (pure update workload) and report commit latency percentiles")
 		legacy   = flag.Bool("legacy", false, "with -db: fsync-per-commit legacy mode (GroupCommitMaxBatch=-1), the pre-group-commit baseline")
 		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address for the run's duration")
+		autoRec  = flag.Bool("auto-recover", false, "with -db: retry in-place recovery automatically if a durable fault degrades the database mid-run")
 	)
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func main() {
 		dopts.GroupCommitMaxBatch = -1
 	}
 	dopts.DebugAddr = *debug
+	dopts.AutoRecover = *autoRec
 	world := dataset.Generate(dataset.DefaultConfig(*seed, *nObst))
 	var db *obstacles.Database
 	var err error

@@ -56,6 +56,17 @@
 // consistent point-in-time copy of a durable database to a fresh file
 // while the daemon keeps serving; the copy pins a snapshot, so queries and
 // mutations never block on it.
+//
+// Failure handling: when a durable commit fails (full disk, dying device),
+// the database degrades to read-only instead of crashing — queries keep
+// answering from the last published generation while mutations return 503
+// with code "degraded" and a Retry-After header. With -auto-recover a
+// supervisor retries recovery in place (capped exponential backoff from
+// -recover-backoff), replaying the WAL and resuming the write path without
+// a restart; GET /healthz reports "degraded" with recovery progress, and
+// GET /healthz?ready=1 turns 503 so load balancers rotate the daemon out.
+// POST /v1/admin/scrub verifies every page checksum online. -chaos installs
+// programmable faults (e.g. "wal-sync:after=20:count=1") for drills.
 package main
 
 import (
@@ -71,6 +82,7 @@ import (
 
 	obstacles "repro"
 	"repro/internal/dataset"
+	"repro/internal/pagefile"
 	"repro/internal/server"
 )
 
@@ -97,11 +109,28 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		logRequests  = flag.Bool("log-requests", false, "log one structured JSON line per request to stderr")
 		traceSample  = flag.Float64("trace-sample", 0.1, "probability a normal request's trace is retained (errors and slow always are)")
+
+		autoRecover    = flag.Bool("auto-recover", false, "retry in-place recovery automatically after a durable fault degrades the database")
+		recoverBackoff = flag.Duration("recover-backoff", 0, "initial recovery retry backoff (0 = default 500ms; doubles per failure, capped at 30s)")
+		chaosSpec      = flag.String("chaos", "", `inject I/O faults for resilience drills, e.g. "wal-sync:after=20:count=1"`)
 	)
 	flag.Parse()
 	var reqLog *slog.Logger
 	if *logRequests {
 		reqLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	opts := obstacles.Options{
+		GraphCacheSize: *graphCache, TraceSampleRate: *traceSample,
+		AutoRecover: *autoRecover, RecoverBackoff: *recoverBackoff,
+	}
+	if *chaosSpec != "" {
+		rules, err := pagefile.ParseFaultSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obsd: -chaos:", err)
+			os.Exit(1)
+		}
+		opts.Chaos = pagefile.NewInjector(rules...)
+		log.Printf("chaos: %d fault rule(s) installed from %q", len(rules), *chaosSpec)
 	}
 	if err := run(*dbPath, *addr, *nObst, *nEnts, *seed, *name,
 		server.Config{
@@ -109,15 +138,14 @@ func main() {
 			DefaultTimeout: *defTimeout, MaxTimeout: *maxTimeout,
 			CoalesceCell: *coalesceCell, CoalesceMaxBatch: *coalesceBatch,
 			DisableCoalesce: *noCoalesce, RequestLogger: reqLog,
-		}, *graphCache, *traceSample, *drainTimeout); err != nil {
+		}, opts, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "obsd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbPath, addr string, nObst, nEnts int, seed int64, name string,
-	cfg server.Config, graphCache int, traceSample float64, drainTimeout time.Duration) error {
-	opts := obstacles.Options{GraphCacheSize: graphCache, TraceSampleRate: traceSample}
+	cfg server.Config, opts obstacles.Options, drainTimeout time.Duration) error {
 	var (
 		db  *obstacles.Database
 		err error

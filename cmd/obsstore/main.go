@@ -8,6 +8,7 @@
 //	obsstore inspect -db city.obs
 //	obsstore checkpoint -db city.obs
 //	obsstore verify -db city.obs
+//	obsstore scrub -db city.obs
 //	obsstore backup -db city.obs -to city-copy.obs
 //	obsstore serve-metrics -db city.obs -addr localhost:6060
 //
@@ -16,7 +17,11 @@
 // written by obsgen. inspect prints the superblock-level stats and the
 // catalog contents. checkpoint applies the WAL to the data file and
 // truncates it. verify reopens the file and cross-checks a sample of
-// queries against an in-memory rebuild of the same data. backup writes a
+// queries against an in-memory rebuild of the same data. scrub reads every
+// allocated page and verifies its checksum (v2 files; see
+// obstacles.Database.Scrub), reporting corrupt pages and quarantining
+// corrupt free ones so they are never handed out again — exit status 1 when
+// live data is damaged. backup writes a
 // consistent point-in-time copy to a fresh file (the file lock keeps tools
 // out of a file a daemon holds open — back up a live obsd with its
 // POST /v1/admin/backup verb instead). serve-metrics
@@ -36,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	obstacles "repro"
 	"repro/internal/dataset"
@@ -57,6 +63,8 @@ func main() {
 		err = checkpoint(args)
 	case "verify":
 		err = verify(args)
+	case "scrub":
+		err = scrub(args)
 	case "backup":
 		err = backup(args)
 	case "serve-metrics":
@@ -71,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify|backup|serve-metrics} -db <file> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: obsstore {create|inspect|checkpoint|verify|scrub|backup|serve-metrics} -db <file> [flags]")
 	os.Exit(2)
 }
 
@@ -290,6 +298,37 @@ func verify(args []string) error {
 	fmt.Printf("verified %s: %d obstacles, %d entities queried, no inconsistencies\n",
 		*path, db.NumObstacles(), checked)
 	return nil
+}
+
+func scrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	path := fs.String("db", "", "database file")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("scrub: -db is required")
+	}
+	db, err := obstacles.Open(*path, obstacles.Options{WALCheckpointBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	rep, err := db.Scrub(context.Background())
+	if err != nil {
+		return err
+	}
+	if !rep.Checksummed {
+		fmt.Printf("%s: v1 file without page checksums — nothing to scrub (rewrite via obsstore backup to upgrade)\n", *path)
+		return nil
+	}
+	fmt.Printf("scrubbed %s: %d pages scanned (%d live) in %s\n", *path, rep.Scanned, rep.Live, rep.Duration.Round(time.Millisecond))
+	if len(rep.CorruptFree) > 0 {
+		fmt.Printf("  %d corrupt free page(s) quarantined: %v\n", len(rep.Quarantined), rep.CorruptFree)
+	}
+	if len(rep.CorruptLive) > 0 {
+		return fmt.Errorf("scrub: %d live page(s) corrupt: %v — restore from a backup", len(rep.CorruptLive), rep.CorruptLive)
+	}
+	fmt.Println("  all checksums good")
+	return db.Close()
 }
 
 func backup(args []string) error {

@@ -39,9 +39,10 @@ func (db *Database) debugMux() *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
-			Metrics Metrics
-			Persist PersistStats
-		}{db.Metrics(), db.PersistStats()})
+			Metrics  Metrics
+			Persist  PersistStats
+			Recovery RecoveryStats
+		}{db.Metrics(), db.PersistStats(), db.RecoveryStats()})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

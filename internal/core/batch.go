@@ -773,6 +773,22 @@ func (e *Engine) InvalidateObstacleRegion(r geom.Rect) int {
 	return e.cache.InvalidateRegion(r)
 }
 
+// Reset discards every cached graph and raises the cache's epoch floor to
+// epoch. Unlike InvalidateRegion, nothing survives for older pinned sessions:
+// Reset is for recovery swaps, where the obstacle set itself was rebuilt and
+// no cached graph — whatever epoch range it claimed — should outlive the old
+// storage generation. Entries held by in-flight queries stay usable by their
+// holder (the entry is self-contained) and are simply never found again.
+func (c *GraphCache) Reset(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.epoch = epoch
+	}
+	c.stats.Evictions += uint64(len(c.entries))
+	c.entries = nil
+}
+
 // drop removes an entry from the cache.
 func (c *GraphCache) drop(en *cacheEntry) {
 	c.mu.Lock()

@@ -599,6 +599,22 @@ func NewEngine(o *ObstacleSet, opts EngineOptions) *Engine {
 // Obstacles returns the engine's obstacle set.
 func (e *Engine) Obstacles() *ObstacleSet { return e.obstacles }
 
+// ReplaceObstacles swaps the engine's obstacle set for one rebuilt from disk
+// and purges the graph cache, raising its epoch floor to the new set's
+// generation — the in-place recovery path, which reconstructs the obstacle
+// tree from the recovered file rather than mutating the live set. The caller
+// must hold the database update lock (no obstacle mutation or new default
+// session may race the swap); sessions already pinned to an older snapshot
+// keep their own ObstacleSet reference and are unaffected, but their cached
+// graphs are discarded — they rebuild query-local graphs, trading warmth for
+// not serving graph state whose backing pages were rebuilt underneath it.
+func (e *Engine) ReplaceObstacles(o *ObstacleSet) {
+	e.obstacles = o
+	if e.cache != nil {
+		e.cache.Reset(o.Generation())
+	}
+}
+
 // Metrics returns the cumulative visibility-graph work counters of every
 // query run so far (graph builds, Dijkstra expansions, settled nodes),
 // merged from all sessions. Per-query counters live in each query's Stats.

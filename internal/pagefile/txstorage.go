@@ -33,6 +33,13 @@ type TxStorage struct {
 	inner   Storage
 	pending map[PageID][]byte
 	dirty   map[PageID]struct{}
+	// detached freezes the overlay as a self-contained in-memory snapshot
+	// (see Detach): no operation touches inner anymore.
+	detached bool
+	frontier PageID
+	// bad records pages that could not be copied out of inner at Detach
+	// time; reading them reports the copy error.
+	bad map[PageID]error
 }
 
 // NewTxStorage returns a transactional overlay over inner.
@@ -42,6 +49,51 @@ func NewTxStorage(inner Storage) *TxStorage {
 		pending: make(map[PageID][]byte),
 		dirty:   make(map[PageID]struct{}),
 	}
+}
+
+// Detach freezes the overlay into a self-contained in-memory snapshot:
+// every page below the frontier not already in the overlay is copied out of
+// the backing store, and from then on no operation touches the store —
+// reads serve the overlay, writes and frees mutate only it, and allocation
+// fails. In-place recovery detaches the poisoned generation's overlay
+// before rebuilding a fresh store over the same file, so readers pinned to
+// old MVCC generations keep answering from this frozen copy while the new
+// store replays, checkpoints and reuses the file's pages underneath them.
+//
+// Pages that cannot be copied (an injected read fault, a corrupt page) do
+// not fail the detach: the error is recorded and returned by any later read
+// of that page, confining the damage to the readers that actually touch it.
+func (t *TxStorage) Detach(frontier PageID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.detached {
+		return
+	}
+	pageSize := t.inner.PageSize()
+	for id := PageID(1); id < frontier; id++ {
+		if _, ok := t.pending[id]; ok {
+			continue
+		}
+		buf := make([]byte, pageSize)
+		if err := t.inner.ReadPage(id, buf); err != nil {
+			if t.bad == nil {
+				t.bad = make(map[PageID]error)
+			}
+			t.bad[id] = err
+			continue
+		}
+		t.pending[id] = buf
+	}
+	t.detached = true
+	t.frontier = frontier
+}
+
+// Detached reports whether Detach has severed the overlay from its backing
+// store.
+func (t *TxStorage) Detached() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.detached
 }
 
 // PageSize implements Storage.
@@ -54,6 +106,12 @@ func (t *TxStorage) NumPages() int { return t.inner.NumPages() }
 // the overlay, giving allocated-but-unwritten pages the same zeroed
 // semantics as MemStorage regardless of what old bytes the file holds.
 func (t *TxStorage) Allocate() (PageID, error) {
+	t.mu.Lock()
+	if t.detached {
+		t.mu.Unlock()
+		return InvalidPage, fmt.Errorf("pagefile: allocate on a detached overlay")
+	}
+	t.mu.Unlock()
 	id, err := t.inner.Allocate()
 	if err != nil {
 		return id, err
@@ -69,6 +127,19 @@ func (t *TxStorage) Allocate() (PageID, error) {
 // its content no longer matters, and the free list travels in the commit's
 // state blob rather than as a logged page image.
 func (t *TxStorage) Free(id PageID) error {
+	t.mu.Lock()
+	if t.detached {
+		// The backing store now belongs to a newer overlay; freeing into it
+		// would corrupt the new store's free list. Deferred frees of COW
+		// pages retired by the dead generation only need to release the
+		// frozen copies.
+		delete(t.pending, id)
+		delete(t.dirty, id)
+		delete(t.bad, id)
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
 	if err := t.inner.Free(id); err != nil {
 		return err
 	}
@@ -79,12 +150,26 @@ func (t *TxStorage) Free(id PageID) error {
 	return nil
 }
 
-// ReadPage implements Storage: overlay first, then the backing store.
+// ReadPage implements Storage: overlay first, then the backing store. On a
+// detached overlay the backing store is never consulted: every page below
+// the detach frontier was copied in (or recorded as unreadable), and pages
+// at or past it read as zero, matching the store's lazy-growth semantics.
 func (t *TxStorage) ReadPage(id PageID, dst []byte) error {
 	t.mu.Lock()
 	if p, ok := t.pending[id]; ok {
 		copy(dst, p)
 		t.mu.Unlock()
+		return nil
+	}
+	if t.detached {
+		err := t.bad[id]
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		for i := range dst[:t.inner.PageSize()] {
+			dst[i] = 0
+		}
 		return nil
 	}
 	t.mu.Unlock()
@@ -150,6 +235,9 @@ func (t *TxStorage) PendingPages() int {
 func (t *TxStorage) Apply() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.detached {
+		return fmt.Errorf("pagefile: apply on a detached overlay")
+	}
 	ids := make([]PageID, 0, len(t.pending))
 	for id := range t.pending {
 		ids = append(ids, id)

@@ -30,7 +30,9 @@
 //
 // Administrative verbs live under /v1/admin: POST /v1/admin/backup writes a
 // consistent point-in-time copy of a durable database to a fresh file while
-// queries and mutations keep running (Database.Backup).
+// queries and mutations keep running (Database.Backup); POST /v1/admin/scrub
+// verifies every page checksum online and quarantines corrupt free pages
+// (Database.Scrub).
 //
 // The daemon's /metrics, /debug/vars, /debug/traces, /debug/active and
 // /debug/pprof/ endpoints are the Database's own observability mux
@@ -44,8 +46,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +76,7 @@ const (
 	routeDatasets        = "datasets"
 	routeHealth          = "health"
 	routeBackup          = "backup"
+	routeScrub           = "scrub"
 )
 
 // maxBodyBytes caps request bodies; distance-matrix and dataset-creation
@@ -194,9 +199,10 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.Handle("POST /v1/obstacles", s.handle(routeAddObstacles, true, s.handleAddObstacles))
 	mux.Handle("POST /v1/obstacles/remove", s.handle(routeRemoveObstacles, true, s.handleRemoveObstacles))
 	mux.Handle("PUT /v1/datasets/{dataset}", s.handle(routeCreateDataset, true, s.handleCreateDataset))
-	// Admin verbs. Backup is gated: it holds an admission slot while the
-	// copy runs, so MaxInFlight bounds backups and queries together.
+	// Admin verbs. Backup and scrub are gated: each holds an admission slot
+	// while it runs, so MaxInFlight bounds admin passes and queries together.
 	mux.Handle("POST /v1/admin/backup", s.handle(routeBackup, true, s.handleBackup))
+	mux.Handle("POST /v1/admin/scrub", s.handle(routeScrub, true, s.handleScrub))
 	// Admin reads bypass the gate: health and listings must answer even
 	// when the gate is saturated or draining.
 	mux.Handle("GET /v1/datasets", s.handle(routeDatasets, false, s.handleDatasets))
@@ -410,6 +416,7 @@ func (s *Server) handle(route string, gated bool, fn func(w http.ResponseWriter,
 func (s *Server) writeErr(w http.ResponseWriter, route string, err error) int {
 	status, code := http.StatusInternalServerError, CodeInternal
 	var he *httpError
+	var de *obstacles.DegradedError
 	switch {
 	case errors.As(err, &he):
 		status, code = he.status, he.code
@@ -419,6 +426,7 @@ func (s *Server) writeErr(w http.ResponseWriter, route string, err error) int {
 		s.met.rejectedOverload.Inc()
 	case errors.Is(err, errDraining):
 		status, code = http.StatusServiceUnavailable, CodeDraining
+		w.Header().Set("Retry-After", "1")
 		s.met.rejectedDraining.Inc()
 	case errors.Is(err, context.DeadlineExceeded):
 		status, code = http.StatusGatewayTimeout, CodeDeadlineExceeded
@@ -426,6 +434,12 @@ func (s *Server) writeErr(w http.ResponseWriter, route string, err error) int {
 		status, code = 499, CodeCanceled // nginx's client-closed-request
 	case errors.Is(err, obstacles.ErrInvalidPolygon):
 		status, code = http.StatusBadRequest, CodeInvalidPolygon
+	case errors.As(err, &de):
+		// Degraded mode: reads still work, so only mutations land here. The
+		// Retry-After is honest — the supervisor's next scheduled attempt.
+		status, code = http.StatusServiceUnavailable, CodeDegraded
+		w.Header().Set("Retry-After", retryAfter(de.Recovery.NextRetry))
+		s.met.rejectedDegraded.Inc()
 	case errors.Is(err, obstacles.ErrNeedsReopen):
 		status, code = http.StatusServiceUnavailable, CodeNeedsReopen
 	case errors.Is(err, obstacles.ErrDatabaseClosed):
@@ -807,6 +821,14 @@ func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) error {
 	return encode(w, BackupResponse{Path: req.Path, Generation: snap.Generation()})
 }
 
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) error {
+	rep, err := s.db.Scrub(r.Context())
+	if err != nil {
+		return err
+	}
+	return encode(w, ScrubResponse{ScrubReport: rep, Clean: rep.Clean()})
+}
+
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) error {
 	names := s.db.Datasets()
 	infos := make([]DatasetInfo, 0, len(names))
@@ -820,15 +842,46 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) error {
 	return encode(w, DatasetsResponse{Datasets: infos})
 }
 
+// retryAfter renders a Retry-After header value from the recovery
+// supervisor's next scheduled attempt; "1" when none is scheduled (manual
+// recovery, or the attempt is imminent).
+func retryAfter(next time.Time) string {
+	if d := time.Until(next); d >= time.Second {
+		return strconv.Itoa(int(math.Ceil(d.Seconds())))
+	}
+	return "1"
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 	status := "ok"
+	var rs *obstacles.RecoveryStats
+	if s.db.Degraded() {
+		status = "degraded"
+		v := s.db.RecoveryStats()
+		rs = &v
+	}
 	if s.Draining() {
+		// Draining wins the label: the process is going away regardless of
+		// the database's state.
 		status = "draining"
+	}
+	// Readiness variant: a degraded or draining daemon should be rotated out
+	// of load balancing even though the liveness answer stays 200.
+	if v := r.URL.Query().Get("ready"); v != "" && v != "0" && status != "ok" {
+		if rs != nil {
+			w.Header().Set("Retry-After", retryAfter(rs.NextRetry))
+		}
+		code := CodeDraining
+		if status == "degraded" {
+			code = CodeDegraded
+		}
+		return &httpError{http.StatusServiceUnavailable, code, "not ready: " + status}
 	}
 	return encode(w, HealthResponse{
 		Status:    status,
 		Datasets:  len(s.db.Datasets()),
 		Obstacles: s.db.NumObstacles(),
 		Persist:   s.db.Persistent(),
+		Recovery:  rs,
 	})
 }

@@ -18,6 +18,7 @@ type serverMetrics struct {
 
 	rejectedOverload *telemetry.Counter // 429s: admission queue full
 	rejectedDraining *telemetry.Counter // 503s: shutdown in progress
+	rejectedDegraded *telemetry.Counter // 503s: degraded (read-only) mode
 
 	coalesceBatches   *telemetry.Counter   // batches executed by elected leaders
 	coalesceHits      *telemetry.Counter   // requests answered by another leader's batch
@@ -31,7 +32,7 @@ var routeNames = []string{
 	routeRange, routeNearest, routeJoin, routeClosestPairs, routeCluster,
 	routeDistance, routePath, routeDistanceMatrix,
 	routeInsertPoints, routeDeletePoints, routeAddObstacles, routeRemoveObstacles,
-	routeCreateDataset, routeDatasets, routeHealth, routeBackup,
+	routeCreateDataset, routeDatasets, routeHealth, routeBackup, routeScrub,
 }
 
 func newServerMetrics(db *obstacles.Database, g *gate) *serverMetrics {
@@ -54,6 +55,8 @@ func newServerMetrics(db *obstacles.Database, g *gate) *serverMetrics {
 		"Requests shed by admission control, by reason.", telemetry.L("reason", "overloaded"))
 	m.rejectedDraining = reg.Counter("obsd_rejected_total",
 		"Requests shed by admission control, by reason.", telemetry.L("reason", "draining"))
+	m.rejectedDegraded = reg.Counter("obsd_rejected_total",
+		"Requests shed by admission control, by reason.", telemetry.L("reason", "degraded"))
 	m.coalesceBatches = reg.Counter("obsd_coalesce_batches_total",
 		"Coalesced batches executed by elected leaders.")
 	m.coalesceHits = reg.Counter("obsd_coalesce_hits_total",

@@ -54,8 +54,16 @@ const (
 	CodeDraining = "draining"
 	// CodeNeedsReopen (503): the database handle poisoned after a durable
 	// commit failure (obstacles.ErrNeedsReopen); mutations will fail until
-	// the operator restarts the daemon.
+	// the handle recovers or the operator restarts the daemon. Degraded-mode
+	// rejections carry the richer CodeDegraded instead; this code remains
+	// for non-degraded reopen conditions.
 	CodeNeedsReopen = "needs_reopen"
+	// CodeDegraded (503): the database is in degraded (read-only) mode after
+	// a durable-commit failure (obstacles.ErrDegraded). Reads keep serving
+	// the last published generation; mutations fail fast. The response
+	// carries a Retry-After header — the time until the recovery
+	// supervisor's next attempt when one is scheduled (obsd -auto-recover).
+	CodeDegraded = "degraded"
 	// CodeNotPersistent (409): backup of an in-memory database
 	// (obstacles.ErrNotPersistent) — only durable databases can be copied.
 	CodeNotPersistent = "not_persistent"
@@ -316,10 +324,25 @@ type DatasetsResponse struct {
 	Datasets []DatasetInfo `json:"datasets"`
 }
 
-// HealthResponse: GET /healthz.
+// ScrubResponse: POST /v1/admin/scrub — the scrub pass's findings.
+type ScrubResponse struct {
+	obstacles.ScrubReport
+	// Clean is the one-glance verdict: no corrupt pages, live or free.
+	Clean bool `json:"clean"`
+}
+
+// HealthResponse: GET /healthz. Always 200 (liveness — the process is up and
+// answering); GET /healthz?ready=1 is the readiness variant, returning 503
+// with an error envelope while the database is degraded or the server is
+// draining.
 type HealthResponse struct {
-	Status    string `json:"status"` // "ok" or "draining"
+	// Status is "ok", "degraded" (durable faults put the database in
+	// read-only mode) or "draining" (shutdown in progress).
+	Status    string `json:"status"`
 	Datasets  int    `json:"datasets"`
 	Obstacles int    `json:"obstacles"`
 	Persist   bool   `json:"persistent"`
+	// Recovery reports degraded-mode details and recovery-supervisor
+	// progress; omitted while healthy.
+	Recovery *obstacles.RecoveryStats `json:"recovery,omitempty"`
 }

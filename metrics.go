@@ -105,6 +105,12 @@ type dbMetrics struct {
 	batchSize         *telemetry.Histogram
 	checkpointSeconds *telemetry.Histogram
 
+	// Self-healing durability (see recovery.go and scrub.go).
+	recoverySeconds *telemetry.Histogram
+	scrubs          *telemetry.Counter
+	scrubPages      *telemetry.Counter
+	scrubCorrupt    *telemetry.Counter
+
 	// traces is the flight recorder behind /debug/traces and /debug/active.
 	traces *telemetry.Recorder
 
@@ -204,7 +210,7 @@ func newDBMetrics(db *Database) *dbMetrics {
 	m.checkpointSeconds = reg.Histogram("obstacles_checkpoint_seconds", "Checkpoint duration (write-back, blob rewrite, superblock sync, WAL truncation).", telemetry.LatencyBuckets)
 	reg.GaugeFunc("obstacles_wal_bytes", "Durable write-ahead-log length in bytes (zero right after a checkpoint, and for in-memory databases).", func() float64 {
 		if s := db.store; s != nil {
-			return float64(s.log.Size())
+			return float64(s.log.Load().Size())
 		}
 		return 0
 	})
@@ -240,6 +246,48 @@ func newDBMetrics(db *Database) *dbMetrics {
 		}
 		return 0
 	})
+
+	// Degraded mode, in-place recovery and scrubbing (see recovery.go and
+	// scrub.go). The recovery counters live under the store's counter lock —
+	// exact and cheap to read at scrape time.
+	reg.GaugeFunc("obstacles_degraded", "1 while the database is in degraded (read-only) mode, 0 when healthy.", func() float64 {
+		if db.Degraded() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterFunc("obstacles_recovery_attempts_total", "In-place recovery attempts, manual and automatic.", func() uint64 {
+		if s := db.store; s != nil {
+			s.cmu.Lock()
+			defer s.cmu.Unlock()
+			return s.recoverAttempts
+		}
+		return 0
+	})
+	reg.CounterFunc("obstacles_recoveries_total", "Recovery attempts that restored a writable database.", func() uint64 {
+		if s := db.store; s != nil {
+			s.cmu.Lock()
+			defer s.cmu.Unlock()
+			return s.recoverCount
+		}
+		return 0
+	})
+	m.recoverySeconds = reg.Histogram("obstacles_recovery_seconds", "Duration of successful in-place recoveries (WAL replay, tree reattach, checkpoint probe).", telemetry.LatencyBuckets)
+	reg.CounterFunc("obstacles_corrupt_pages_total", "Page reads and verifications that failed the checksum.", func() uint64 {
+		if s := db.store; s != nil {
+			return s.fs.IO().CorruptPages
+		}
+		return 0
+	})
+	reg.GaugeFunc("obstacles_quarantined_pages", "Corrupt free-list pages quarantined from reallocation.", func() float64 {
+		if s := db.store; s != nil {
+			return float64(s.fs.Quarantined())
+		}
+		return 0
+	})
+	m.scrubs = reg.Counter("obstacles_scrubs_total", "Completed scrub passes.")
+	m.scrubPages = reg.Counter("obstacles_scrub_pages_total", "Pages checksum-verified by the scrubber.")
+	m.scrubCorrupt = reg.Counter("obstacles_scrub_corrupt_total", "Corrupt pages found by the scrubber.")
 
 	// Flight recorder retention decisions (see /debug/traces).
 	rec := func(get func(telemetry.RecorderStats) uint64) func() uint64 {
@@ -299,9 +347,9 @@ func (db *Database) TraceRecorder() *telemetry.Recorder {
 
 // cowCopies sums the copy-on-write page relocations across every tree.
 func (db *Database) cowCopies() uint64 {
-	total := db.obstSet.Tree().COWCopies()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	total := db.obstSet.Tree().COWCopies()
 	for _, ps := range db.datasets {
 		total += ps.Tree().COWCopies()
 	}

@@ -90,6 +90,27 @@ type Options struct {
 	// are then only traced at all when SlowQueryThreshold is set or the
 	// caller's context already carries a span.
 	TraceSampleRate float64
+	// AutoRecover starts a background supervisor on a durable database (see
+	// Open) that, whenever a durable-commit failure puts the handle in
+	// degraded mode, retries in-place recovery under capped exponential
+	// backoff with jitter until mutations flow again. While degraded, reads
+	// keep serving the last published generation and mutations fail fast
+	// with a *DegradedError. Ignored by in-memory databases.
+	AutoRecover bool
+	// RecoverBackoff is the supervisor's initial retry delay (default
+	// 500ms); RecoverMaxBackoff caps the exponential growth (default 30s).
+	// Each scheduled retry is jittered on [backoff/2, backoff]. Negative
+	// values are rejected.
+	RecoverBackoff    time.Duration
+	RecoverMaxBackoff time.Duration
+	// Chaos, when non-nil, arms a programmable fault injector across the
+	// whole durable path of an Open database: page reads/writes and data
+	// fsyncs on the data file, writes and fsyncs on the write-ahead log.
+	// Faults, fault windows and latency are programmed on the injector
+	// (see pagefile.Injector and pagefile.ParseFaultSpec); injected errors
+	// flow through the same poison/degrade/recover machinery as real device
+	// failures. For crash drills and tests; ignored by in-memory databases.
+	Chaos *pagefile.Injector
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments.
@@ -112,6 +133,12 @@ func (o Options) validate() error {
 	if o.TraceSampleRate != 0 && !(o.TraceSampleRate > 0 && o.TraceSampleRate <= 1) {
 		return fmt.Errorf("obstacles: Options.TraceSampleRate %g out of range [0, 1]", o.TraceSampleRate)
 	}
+	if o.RecoverBackoff < 0 {
+		return fmt.Errorf("obstacles: Options.RecoverBackoff %v is negative; use 0 for the default (500ms)", o.RecoverBackoff)
+	}
+	if o.RecoverMaxBackoff < 0 {
+		return fmt.Errorf("obstacles: Options.RecoverMaxBackoff %v is negative; use 0 for the default (30s)", o.RecoverMaxBackoff)
+	}
 	return nil
 }
 
@@ -130,6 +157,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupCommitMaxBatch == 0 {
 		o.GroupCommitMaxBatch = 64
+	}
+	if o.RecoverBackoff == 0 {
+		o.RecoverBackoff = 500 * time.Millisecond
+	}
+	if o.RecoverMaxBackoff == 0 {
+		o.RecoverMaxBackoff = 30 * time.Second
+	}
+	if o.RecoverMaxBackoff < o.RecoverBackoff {
+		o.RecoverMaxBackoff = o.RecoverBackoff
 	}
 	return o
 }
@@ -239,6 +275,12 @@ type Database struct {
 	// Options.DebugAddr is set.
 	tel   *dbMetrics
 	debug *debugServer
+
+	// Recovery-supervisor lifecycle (nil channels unless Options.AutoRecover
+	// started one); see recovery.go.
+	recoverStop     chan struct{}
+	recoverDone     chan struct{}
+	recoverStopOnce sync.Once
 }
 
 // dbVersion is one immutable published generation: sealed views of the
@@ -566,6 +608,9 @@ func (db *Database) addDatasetDurable(sp *telemetry.Span, name string, pts []Poi
 	var tk *commitTicket
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
+	if err = db.degradedCheckLocked(); err != nil {
+		return err
+	}
 	db.mu.RLock()
 	_, exists := db.datasets[name]
 	db.mu.RUnlock()
@@ -672,6 +717,15 @@ func (db *Database) InsertPointsContext(ctx context.Context, name string, pts ..
 	defer db.countMutation(OpInsertPoints, &err) // declared first: counts after the commit resolves
 	defer db.awaitCommit(&err, &tk)              // runs after the unlock: parks on the shared fsync
 	defer db.updateMu.Unlock()
+	if err = db.degradedCheckLocked(); err != nil {
+		return nil, err
+	}
+	// Re-resolve under the lock: in-place recovery swaps the dataset map, and
+	// a write into a pre-swap tree would land on a detached overlay and be
+	// silently lost.
+	if ps, err = db.dataset(name); err != nil {
+		return nil, err
+	}
 	defer db.stageCommit(&err, &tk, false, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
@@ -708,6 +762,13 @@ func (db *Database) DeletePointsContext(ctx context.Context, name string, ids ..
 	defer db.countMutation(OpDeletePoints, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
+	if err = db.degradedCheckLocked(); err != nil {
+		return err
+	}
+	// Re-resolve under the lock (see InsertPointsContext).
+	if ps, err = db.dataset(name); err != nil {
+		return err
+	}
 	seen := make(map[int64]bool, len(ids))
 	for _, id := range ids {
 		if !ps.Alive(id) {
@@ -759,6 +820,9 @@ func (db *Database) AddObstaclesContext(ctx context.Context, polys ...Polygon) (
 	defer db.countMutation(OpAddObstacles, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
+	if err = db.degradedCheckLocked(); err != nil {
+		return nil, err
+	}
 	defer db.stageCommit(&err, &tk, true, telemetry.SpanFromContext(ctx))
 	defer db.publishVersion()
 	defer db.gen.Add(1)
@@ -815,6 +879,9 @@ func (db *Database) RemoveObstaclesContext(ctx context.Context, ids ...int64) (e
 	defer db.countMutation(OpRemoveObstacles, &err)
 	defer db.awaitCommit(&err, &tk)
 	defer db.updateMu.Unlock()
+	if err = db.degradedCheckLocked(); err != nil {
+		return err
+	}
 	seen := make(map[int64]bool, len(ids))
 	for _, id := range ids {
 		if !db.obstSet.Alive(id) {
@@ -1092,7 +1159,10 @@ func (db *Database) insideObstacleAt(v *dbVersion, p Point) (bool, error) {
 // ObstacleTreeStats returns the I/O counters of the obstacle R-tree
 // (process-global; see WithStats for per-query counters).
 func (db *Database) ObstacleTreeStats() TreeStats {
-	return treeStats(db.obstSet.Tree())
+	db.mu.RLock()
+	o := db.obstSet
+	db.mu.RUnlock()
+	return treeStats(o.Tree())
 }
 
 // DatasetTreeStats returns the I/O counters of a dataset's R-tree
@@ -1109,9 +1179,9 @@ func (db *Database) DatasetTreeStats(name string) (TreeStats, error) {
 // zeroed while queries are in flight lose those queries' traffic; per-query
 // measurement should use WithStats instead.
 func (db *Database) ResetStats() {
-	db.obstSet.Tree().PageFile().ResetStats()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.obstSet.Tree().PageFile().ResetStats()
 	for _, ps := range db.datasets {
 		ps.Tree().PageFile().ResetStats()
 	}

@@ -25,10 +25,13 @@ var ErrDatabaseClosed = errors.New("obstacles: database is closed")
 
 // ErrNeedsReopen wraps the first durable-commit failure. Once a commit
 // could not reach the write-ahead log, the in-memory state is ahead of
-// anything recoverable, so the handle refuses further mutations; reopening
-// the file recovers the last committed state. The handle poisons exactly
-// once: every mutator parked on the failed fsync batch — and every later
-// mutation — reports an error wrapping the first failure.
+// anything recoverable, so the handle enters degraded mode: reads keep
+// serving the last published generation, and every mutator parked on the
+// failed fsync batch — and every later mutation — fails fast with a
+// *DegradedError wrapping the first failure (which matches both this
+// sentinel and ErrDegraded under errors.Is). Recover — or the
+// Options.AutoRecover supervisor — restores a writable handle in place by
+// replaying the file's committed state; reopening the file does the same.
 var ErrNeedsReopen = errors.New("obstacles: durable state diverged, reopen the database")
 
 // PersistStats describes the durable backend of a Database.
@@ -92,7 +95,15 @@ type durableStore struct {
 	fs   *pagefile.FileStorage
 	st   pagefile.Storage // fs, possibly fault-wrapped by tests
 	tx   *pagefile.TxStorage
-	log  *wal.Log
+	// log is the live write-ahead log. An atomic pointer because in-place
+	// recovery swaps in a fresh log under the updateMu write side while
+	// lock-free readers (the auto-checkpoint size probe, the wal_bytes
+	// gauge) may be sampling it.
+	log atomic.Pointer[wal.Log]
+	// hooks are the file wrappers this store was opened with, retained so
+	// in-place recovery re-wraps the fresh WAL handle and storage the same
+	// way.
+	hooks openHooks
 	// tel is the owning Database's telemetry (set right after construction,
 	// before any commit or checkpoint can run).
 	tel *dbMetrics
@@ -144,6 +155,16 @@ type durableStore struct {
 	grouped    uint64
 	batchMax   int
 	durableSeq uint64
+	// Recovery bookkeeping, also under cmu. autoRecover is immutable;
+	// degradedCh (one-slot, never closed) wakes the recovery supervisor when
+	// the handle poisons.
+	autoRecover     bool
+	degradedCh      chan struct{}
+	recoverAttempts uint64
+	recoverCount    uint64
+	recoverLastErr  error
+	recoverLast     time.Time
+	recoverNext     time.Time
 
 	// Adaptive batching state (atomics; read lock-free by committers).
 	// lastBatch predicts how many commits are about to arrive — mutators
@@ -214,6 +235,21 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 	}
 	opts.PageSize = sb.PageSize
 	opts = opts.withDefaults()
+
+	if opts.Chaos != nil {
+		// The chaos injector instruments the data file directly and wraps
+		// the WAL handle (composing with any test-provided wrapper), so one
+		// injector programs faults across the whole durable path.
+		fs.SetInjector(opts.Chaos)
+		inner := hooks.wrapWAL
+		inj := opts.Chaos
+		hooks.wrapWAL = func(f wal.File) wal.File {
+			if inner != nil {
+				f = inner(f)
+			}
+			return &faultWALFile{f: f, inj: inj}
+		}
+	}
 
 	wf, wsize, err := wal.OpenOSFile(path + ".wal")
 	if err != nil {
@@ -388,7 +424,7 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		fs:             fs,
 		st:             st,
 		tx:             tx,
-		log:            log,
+		hooks:          hooks,
 		maxBatch:       opts.GroupCommitMaxBatch,
 		maxDelay:       opts.GroupCommitMaxDelay,
 		legacy:         opts.GroupCommitMaxBatch < 0 || opts.GroupCommitMaxDelay < 0,
@@ -399,17 +435,13 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 		logged:         logged,
 		dirtyDatasets:  make(map[string]struct{}),
 		leaderTok:      make(chan struct{}, 1),
+		autoRecover:    opts.AutoRecover,
+		degradedCh:     make(chan struct{}, 1),
 	}
+	db.store.log.Store(log)
 	db.store.durableSeq = seq
 	db.store.tel = db.tel
-	// The WAL reports every commit-path fsync's syscall latency straight
-	// into the histogram (checkpoint truncation is not hooked: Reset syncs
-	// directly and is accounted under checkpoint duration), and into the
-	// batch leader's trace when one is in flight.
-	log.SetSyncHook(func(d time.Duration) {
-		db.tel.fsyncSeconds.ObserveDuration(d)
-		db.store.fsyncSpan.Load().ChildDur("fsync", time.Now().Add(-d), d)
-	})
+	db.installWALHook(log)
 	if db.store.legacy {
 		db.store.maxBatch = 1
 		db.store.maxDelay = 0
@@ -429,7 +461,22 @@ func openWithHooks(path string, opts Options, hooks openHooks) (*Database, error
 	if err := db.startDebug(); err != nil {
 		return fail(err)
 	}
+	if opts.AutoRecover {
+		db.startRecovery()
+	}
 	return db, nil
+}
+
+// installWALHook makes the log report every commit-path fsync's syscall
+// latency straight into the histogram (checkpoint truncation is not hooked:
+// Reset syncs directly and is accounted under checkpoint duration), and into
+// the batch leader's trace when one is in flight. Called at Open and again
+// by recovery for each fresh log.
+func (db *Database) installWALHook(log *wal.Log) {
+	log.SetSyncHook(func(d time.Duration) {
+		db.tel.fsyncSeconds.ObserveDuration(d)
+		db.store.fsyncSpan.Load().ChildDur("fsync", time.Now().Add(-d), d)
+	})
 }
 
 // Persistent reports whether the database is backed by a durable file.
@@ -445,7 +492,7 @@ func (db *Database) PersistStats() PersistStats {
 	db.updateMu.RLock()
 	out := PersistStats{
 		Path:              s.path,
-		WALBytes:          s.log.Size(),
+		WALBytes:          s.log.Load().Size(),
 		Checkpoints:       s.checkpoints,
 		FilePages:         s.fs.NumPages(),
 		PendingPages:      s.tx.PendingPages(),
@@ -488,10 +535,25 @@ func (db *Database) Close() error {
 	if s == nil {
 		return nil
 	}
+	// Signal the recovery supervisor before taking the update lock — it may
+	// be mid-attempt holding it — and join it only after releasing the lock
+	// (a supervisor blocked on updateMu must get in, see closed, and exit).
+	db.stopRecovery()
+	firstErr, closed := db.closeStore()
+	if closed && db.recoverDone != nil {
+		<-db.recoverDone
+	}
+	return firstErr
+}
+
+// closeStore runs the locked part of Close; closed reports whether this call
+// did the work (false when another Close already had).
+func (db *Database) closeStore() (error, bool) {
+	s := db.store
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
 	if s.closed {
-		return nil
+		return nil, false
 	}
 	// Drain the commit queue even on a poisoned handle so no mutator stays
 	// parked on a ticket; on a healthy handle the checkpoint below drains
@@ -501,14 +563,14 @@ func (db *Database) Close() error {
 	if s.brokenErr() == nil {
 		firstErr = db.checkpointLocked()
 	}
-	if err := s.log.Close(); err != nil && firstErr == nil {
+	if err := s.log.Load().Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := s.fs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	s.closed = true
-	return firstErr
+	return firstErr, true
 }
 
 // brokenErr returns the poison error, if any.
@@ -580,12 +642,12 @@ func (db *Database) stageCommitLocked(obstChanged bool, sp *telemetry.Span) (*co
 		return nil, ErrDatabaseClosed
 	}
 	if err := s.brokenErr(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+		return nil, s.degraded(err)
 	}
 	stageStart := time.Now()
 	if err := db.flushTreeBuffers(); err != nil {
 		s.poison(err)
-		return nil, fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+		return nil, s.degraded(err)
 	}
 	writes := s.tx.CaptureDirty()
 	pages := make([]wal.Page, len(writes))
@@ -614,7 +676,7 @@ func (db *Database) stageCommitLocked(obstChanged bool, sp *telemetry.Span) (*co
 	sp.ChildDur("stage", stageStart, time.Since(stageStart))
 	if s.legacy {
 		s.writeBatch([]*commitTicket{tk}, tk)
-		if tk.err == nil && s.autoCheckpoint > 0 && s.log.Size() >= s.autoCheckpoint {
+		if tk.err == nil && s.autoCheckpoint > 0 && s.log.Load().Size() >= s.autoCheckpoint {
 			s.lastCheckpointErr = db.checkpointLocked()
 		}
 		return nil, tk.err
@@ -808,7 +870,7 @@ func (s *durableStore) writeBatch(batch []*commitTicket, lead *commitTicket) {
 		if leadSp != nil {
 			s.fsyncSpan.Store(leadSp)
 		}
-		err = s.log.AppendGroup(txs)
+		err = s.log.Load().AppendGroup(txs)
 		s.fsyncSpan.Store(nil)
 		if leadSp != nil {
 			leadSp.ChildDur("wal-append", start, time.Since(start))
@@ -842,9 +904,13 @@ func (s *durableStore) writeBatch(batch []*commitTicket, lead *commitTicket) {
 		s.durableSeq = batch[len(batch)-1].tx.Seq
 	} else if s.broken == nil {
 		s.broken = err
+		select {
+		case s.degradedCh <- struct{}{}:
+		default:
+		}
 	}
 	if err != nil {
-		err = fmt.Errorf("%w: %v", ErrNeedsReopen, s.broken)
+		err = &DegradedError{Cause: s.broken, Recovery: s.recoveryStatsLocked()}
 	}
 	s.cmu.Unlock()
 	for _, tk := range batch {
@@ -855,11 +921,15 @@ func (s *durableStore) writeBatch(batch []*commitTicket, lead *commitTicket) {
 }
 
 // poison marks the handle broken with the first error that made the
-// in-memory state unrecoverable.
+// in-memory state unrecoverable, and wakes the recovery supervisor.
 func (s *durableStore) poison(err error) {
 	s.cmu.Lock()
 	if s.broken == nil {
 		s.broken = err
+		select {
+		case s.degradedCh <- struct{}{}:
+		default:
+		}
 	}
 	s.cmu.Unlock()
 }
@@ -883,12 +953,12 @@ func (db *Database) flushCommitsLocked() {
 // PersistStats.LastCheckpointErr.
 func (db *Database) maybeAutoCheckpoint(sp *telemetry.Span) {
 	s := db.store
-	if s.autoCheckpoint <= 0 || s.log.Size() < s.autoCheckpoint {
+	if s.autoCheckpoint <= 0 || s.log.Load().Size() < s.autoCheckpoint {
 		return
 	}
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
-	if s.closed || s.log.Size() < s.autoCheckpoint {
+	if s.closed || s.log.Load().Size() < s.autoCheckpoint {
 		return
 	}
 	start := time.Now()
@@ -928,7 +998,7 @@ func (db *Database) checkpointLocked() error {
 	ckptStart := time.Now()
 	db.flushCommitsLocked()
 	if err := s.brokenErr(); err != nil {
-		return fmt.Errorf("%w: %v", ErrNeedsReopen, err)
+		return s.degraded(err)
 	}
 	pageSize := s.fs.PageSize()
 
@@ -1057,7 +1127,7 @@ func (db *Database) checkpointLocked() error {
 	}
 	s.fs.DrainAllocLog() // folded into the full free list just written
 	s.obstDirty = false
-	if err := s.log.Reset(); err != nil {
+	if err := s.log.Load().Reset(); err != nil {
 		return fmt.Errorf("obstacles: truncating WAL: %w", err)
 	}
 	s.logged = make(map[pagefile.PageID]struct{})

@@ -189,7 +189,7 @@ func assertVerbsMatch(t *testing.T, label string, got, want *Database, queries [
 // and no WAL truncation, leaving the exact on-disk crash image.
 func crashDB(db *Database) {
 	s := db.store
-	s.log.Close()
+	s.log.Load().Close()
 	s.fs.Close()
 	s.closed = true
 }
